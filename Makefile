@@ -1,0 +1,27 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments figures quick-experiments clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro all | tee full_experiments.txt
+
+quick-experiments:
+	$(PYTHON) -m repro all --quick
+
+figures:
+	$(PYTHON) -m repro figures
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,16 @@
+"""Bench E10: ablations (grid side, cluster phase density, crossover)."""
+
+from repro.experiments import run_experiment
+
+from conftest import SEED
+
+
+def test_table_e10(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e10", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e10", table)
+    kinds = {r["ablation"] for r in table.rows}
+    assert kinds >= {"grid-side", "cluster-ln-factor", "approach-crossover"}

@@ -1,0 +1,29 @@
+"""Bench E12 (extension): congestion analysis."""
+
+import numpy as np
+
+from repro.core import GreedyScheduler
+from repro.experiments import run_experiment
+from repro.network import grid
+from repro.sim import congestion_report
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_congestion_report(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(16), w=32, k=2, rng=rng)
+    sched = GreedyScheduler().schedule(inst)
+    rep = benchmark(lambda: congestion_report(sched))
+    assert rep.makespan == sched.makespan
+
+
+def test_table_e12(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e12", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e12", table)
+    assert all(r["cap1_upper_bound"] >= r["cap1_lower_bound"] for r in table.rows)

@@ -1,0 +1,35 @@
+"""Bench E13 (extension): asynchronous replay."""
+
+import math
+
+import numpy as np
+
+from repro.core import GreedyScheduler
+from repro.experiments import run_experiment
+from repro.network import clique
+from repro.sim import asynchronous_execute
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_asynchronous_replay(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(clique(128), w=32, k=2, rng=rng)
+    sched = GreedyScheduler().schedule(inst)
+    res = benchmark(
+        lambda: asynchronous_execute(sched, 2.0, np.random.default_rng(SEED))
+    )
+    assert res.makespan >= 1
+
+
+def test_table_e13(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e13", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e13", table)
+    for row in table.rows:
+        # per-commit integer rounding makes ceil(phi) the exact envelope
+        assert row["inflation"] <= math.ceil(row["phi"]) + 0.2

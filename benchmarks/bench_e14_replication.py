@@ -1,0 +1,31 @@
+"""Bench E14 (extension): versioned reads vs single-copy."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.network import clique
+from repro.replication import ReplicatedGreedyScheduler, random_rw_instance
+
+from conftest import SEED
+
+
+def test_kernel_replicated_greedy(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_rw_instance(clique(128), w=32, k=2,
+                              write_fraction=0.2, rng=rng)
+    sched = ReplicatedGreedyScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_table_e14(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e14", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e14", table)
+    for row in table.rows:
+        assert row["speedup"] >= 0.99
+        if row["write_frac"] == 1.0:
+            assert abs(row["conflict_edges_ratio"] - 1.0) < 1e-9

@@ -1,0 +1,29 @@
+"""Bench E15 (extension): control-flow execution."""
+
+import numpy as np
+
+from repro.controlflow import ControlFlowScheduler
+from repro.experiments import run_experiment
+from repro.network import grid
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_controlflow_hybrid(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(16), w=64, k=3, rng=rng)
+    sched = ControlFlowScheduler("hybrid")
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_table_e15(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e15", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e15", table)
+    for row in table.rows:
+        assert row["cf_hybrid"] <= max(row["cf_rpc"], row["cf_migration"]) + 1e-9

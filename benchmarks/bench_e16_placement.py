@@ -1,0 +1,29 @@
+"""Bench E16 (extension): object placement policies."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.network import grid
+from repro.placement import optimize_homes
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_walk_optimal_placement(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(16), w=32, k=2, rng=rng)
+    result = benchmark(lambda: optimize_homes(inst, "walk"))
+    assert result.m == inst.m
+
+
+def test_table_e16(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e16", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e16", table)
+    assert {r["policy"] for r in table.rows} >= {
+        "random-requester", "walk-optimal", "1-center",
+    }

@@ -1,0 +1,31 @@
+"""Bench E1 (Theorem 1): clique greedy scheduling.
+
+Times the greedy kernel on a 256-node clique and regenerates the E1 table.
+"""
+
+import numpy as np
+
+from repro.core import CliqueScheduler
+from repro.experiments import run_experiment
+from repro.network import clique
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_clique_greedy(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(clique(256), w=128, k=4, rng=rng)
+    sched = CliqueScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.makespan >= 1
+
+
+def test_table_e1(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e1", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e1", table)
+    assert all(v <= 3.0 for v in table.column("ratio_over_k"))

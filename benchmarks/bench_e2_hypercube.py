@@ -1,0 +1,36 @@
+"""Bench E2 (§3.1): diameter-scaled greedy on hypercube and butterfly."""
+
+import numpy as np
+
+from repro.core import DiameterScheduler
+from repro.experiments import run_experiment
+from repro.network import butterfly, hypercube
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_hypercube_greedy(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(hypercube(8), w=64, k=4, rng=rng)
+    sched = DiameterScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_kernel_butterfly_greedy(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(butterfly(5), w=48, k=2, rng=rng)
+    sched = DiameterScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_table_e2(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e2", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e2", table)
+    assert all(v <= 2.0 for v in table.column("ratio_norm"))

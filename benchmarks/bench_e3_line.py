@@ -1,0 +1,28 @@
+"""Bench E3 (Theorem 2, Fig 1): two-phase line scheduling."""
+
+import numpy as np
+
+from repro.core import LineScheduler
+from repro.experiments import run_experiment
+from repro.network import line
+from repro.workloads import line_span_instance
+
+from conftest import SEED
+
+
+def test_kernel_line_scheduler(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = line_span_instance(line(2048), w=128, k=2, max_span=31, rng=rng)
+    sched = LineScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.makespan <= 4 * LineScheduler.ell(inst)
+
+
+def test_table_e3(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e3", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e3", table)
+    assert all(v <= 6.0 for v in table.column("ratio"))

@@ -1,0 +1,39 @@
+"""Bench E4 (Theorem 3, Fig 2): boustrophedon grid scheduling."""
+
+import math
+
+import numpy as np
+
+from repro.core import GridScheduler
+from repro.experiments import run_experiment
+from repro.network import grid
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_grid_scheduler_theory_side(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(24), w=24, k=2, rng=rng)
+    sched = GridScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_kernel_grid_scheduler_forced_subgrids(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(24), w=24, k=2, rng=rng)
+    sched = GridScheduler(side=6)
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_table_e4(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e4", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e4", table)
+    vals = [v for v in table.column("ratio_norm") if not math.isnan(v)]
+    assert vals and all(v <= 4.0 for v in vals)

@@ -1,0 +1,48 @@
+"""Bench E5 (Theorem 4, Algorithm 1, Fig 3): cluster scheduling."""
+
+import numpy as np
+
+from repro.core import ClusterScheduler
+from repro.experiments import run_experiment
+from repro.network import cluster
+from repro.workloads import partitioned_instance
+
+from conftest import SEED
+
+
+def _instance(cross):
+    net = cluster(8, 16, gamma=16)
+    groups = net.topology.require("clusters")
+    rng = np.random.default_rng(SEED)
+    return partitioned_instance(
+        net, groups, objects_per_group=8, k=2, cross_fraction=cross, rng=rng
+    ), rng
+
+
+def test_kernel_cluster_approach1(benchmark):
+    inst, rng = _instance(0.5)
+    sched = ClusterScheduler(approach=1)
+    result = benchmark(lambda: sched.schedule(inst, rng))
+    assert result.is_feasible()
+
+
+def test_kernel_cluster_approach2(benchmark):
+    inst, _ = _instance(0.5)
+    sched = ClusterScheduler(approach=2)
+    result = benchmark(
+        lambda: sched.schedule(inst, np.random.default_rng(SEED))
+    )
+    assert result.is_feasible()
+
+
+def test_table_e5(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e5", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e5", table)
+    for row in table.rows:
+        assert row["mk_auto"] <= min(
+            row["mk_approach1"], row["mk_approach2"]
+        ) + 1e-9

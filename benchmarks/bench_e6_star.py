@@ -1,0 +1,31 @@
+"""Bench E6 (Theorem 5, Fig 4): star ring scheduling."""
+
+import numpy as np
+
+from repro.core import StarScheduler
+from repro.experiments import run_experiment
+from repro.network import star
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_star_scheduler(benchmark):
+    rng = np.random.default_rng(SEED)
+    net = star(16, 31)
+    inst = random_k_subsets(net, w=64, k=2, rng=rng)
+    sched = StarScheduler()
+    result = benchmark(
+        lambda: sched.schedule(inst, np.random.default_rng(SEED))
+    )
+    assert result.is_feasible()
+
+
+def test_table_e6(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e6", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e6", table)
+    assert all(v <= 3.0 for v in table.column("ratio_norm"))

@@ -1,0 +1,40 @@
+"""Bench E7 (Theorem 6, Fig 5): grid hard instances and the TSP gap."""
+
+import numpy as np
+
+from repro.bounds import hard_grid_instance, object_report
+from repro.core import GreedyScheduler
+from repro.experiments import run_experiment
+
+from conftest import SEED
+
+
+def test_kernel_hard_grid_generation(benchmark):
+    hard = benchmark(
+        lambda: hard_grid_instance(9, np.random.default_rng(SEED))
+    )
+    assert hard.instance.m == hard.network.n
+
+
+def test_kernel_object_report_on_hard_grid(benchmark):
+    hard = hard_grid_instance(9, np.random.default_rng(SEED))
+    report = benchmark(lambda: object_report(hard.instance))
+    assert len(report) == 2 * 9
+
+
+def test_kernel_greedy_on_hard_grid(benchmark):
+    hard = hard_grid_instance(9, np.random.default_rng(SEED))
+    sched = GreedyScheduler()
+    result = benchmark(lambda: sched.schedule(hard.instance))
+    assert result.is_feasible()
+
+
+def test_table_e7(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e7", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e7", table)
+    gaps = table.column("gap")
+    assert gaps == sorted(gaps) and gaps[-1] > gaps[0]

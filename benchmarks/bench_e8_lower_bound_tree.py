@@ -1,0 +1,27 @@
+"""Bench E8 (§8.2, Fig 6): tree hard instances and the TSP gap."""
+
+import numpy as np
+
+from repro.bounds import hard_tree_instance
+from repro.core import GreedyScheduler
+from repro.experiments import run_experiment
+
+from conftest import SEED
+
+
+def test_kernel_greedy_on_hard_tree(benchmark):
+    hard = hard_tree_instance(9, np.random.default_rng(SEED))
+    sched = GreedyScheduler()
+    result = benchmark(lambda: sched.schedule(hard.instance))
+    assert result.is_feasible()
+
+
+def test_table_e8(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e8", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e8", table)
+    gaps = table.column("gap")
+    assert gaps == sorted(gaps) and gaps[-1] > gaps[0]

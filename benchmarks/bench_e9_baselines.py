@@ -1,0 +1,40 @@
+"""Bench E9: paper schedulers vs serialization / priority baselines."""
+
+import numpy as np
+
+from repro.baselines import SequentialScheduler, TSPOrderScheduler
+from repro.experiments import run_experiment
+from repro.network import clique
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_sequential_baseline(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(clique(256), w=64, k=2, rng=rng)
+    sched = SequentialScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.makespan >= inst.m  # fully serialized
+
+
+def test_kernel_tsp_order_baseline(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(clique(256), w=64, k=2, rng=rng)
+    sched = TSPOrderScheduler()
+    result = benchmark(lambda: sched.schedule(inst))
+    assert result.is_feasible()
+
+
+def test_table_e9(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e9", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e9", table)
+    assert {r["scheduler"] for r in table.rows} >= {
+        "sequential",
+        "random-order",
+        "tsp-order",
+    }

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Tracks the primitives everything else is built from (per the HPC guides:
+measure before optimizing, and keep a regression baseline): distance
+matrix construction, dependency-graph build, greedy colouring, schedule
+validation, hop-level execution, lower-bound computation, compaction,
+and congestion rerouting.
+"""
+
+import numpy as np
+
+from repro.bounds import makespan_lower_bound, object_report
+from repro.core import GreedyScheduler, compact_schedule
+from repro.core.coloring import greedy_color
+from repro.core.dependency import DependencyGraph
+from repro.network import grid
+from repro.sim import execute, reroute_for_congestion
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def _setup():
+    rng = np.random.default_rng(SEED)
+    net = grid(20)  # 400 nodes
+    inst = random_k_subsets(net, w=64, k=3, rng=rng)
+    return net, inst
+
+
+def test_kernel_distance_matrix(benchmark):
+    def build():
+        net = grid(20)
+        return net.distance_matrix
+
+    mat = benchmark(build)
+    assert mat.shape == (400, 400)
+
+
+def test_kernel_dependency_build(benchmark):
+    _, inst = _setup()
+    graph = benchmark(lambda: DependencyGraph.build(inst))
+    assert graph.num_vertices == inst.m
+
+
+def test_kernel_greedy_coloring(benchmark):
+    _, inst = _setup()
+    graph = DependencyGraph.build(inst)
+    colors = benchmark(lambda: greedy_color(graph))
+    assert len(colors) == inst.m
+
+
+def test_kernel_schedule_validate(benchmark):
+    _, inst = _setup()
+    sched = GreedyScheduler().schedule(inst)
+
+    def check():
+        sched._itineraries = None  # force a fresh pass
+        sched.validate()
+        return sched
+
+    benchmark(check)
+
+
+def test_kernel_simulator_execute(benchmark):
+    _, inst = _setup()
+    sched = GreedyScheduler().schedule(inst)
+    trace = benchmark(lambda: execute(sched, record_commits=False))
+    assert trace.makespan == sched.makespan
+
+
+def test_kernel_lower_bound(benchmark):
+    _, inst = _setup()
+    lb = benchmark(lambda: makespan_lower_bound(inst, object_report(inst)))
+    assert lb >= 1
+
+
+def test_kernel_compaction(benchmark):
+    _, inst = _setup()
+    sched = GreedyScheduler().schedule(inst)
+    out = benchmark(lambda: compact_schedule(sched))
+    assert out.makespan <= sched.makespan
+
+
+def test_kernel_reroute(benchmark):
+    _, inst = _setup()
+    sched = GreedyScheduler().schedule(inst)
+    plan = benchmark(lambda: reroute_for_congestion(sched, max_detours=4))
+    assert plan.total_legs > 0

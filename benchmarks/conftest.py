@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each ``bench_eN_*``
+module regenerates the corresponding experiment table (the reproduction
+of a paper theorem/figure; see DESIGN.md §3) and times the scheduling
+kernels involved.  Regenerated tables are written to
+``benchmarks/results/<exp id>.txt`` so the numbers recorded in
+EXPERIMENTS.md can be refreshed from a bench run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    """Write a rendered experiment table under benchmarks/results/."""
+
+    def _write(exp_id: str, table) -> None:
+        (results_dir / f"{exp_id}.txt").write_text(table.render() + "\n")
+
+    return _write
+
+
+SEED = 20170722

@@ -1,0 +1,61 @@
+"""Regenerate the paper's six figures as ASCII.
+
+Fig 1: line graph with n = 32 and ell = 8 (§4)
+Fig 2: 16x16 grid with 4x4 subgrids + one object's path (§5)
+Fig 3: 5 clusters of 6 nodes with bridge weight gamma (§6)
+Fig 4: star with 8 rays of 7 nodes and its 3 segment rings (§7)
+Fig 5: grid-of-blocks lower-bound substrate (§8.1)
+Fig 6: tree-of-blocks lower-bound substrate (§8.2)
+
+Run:  python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.core import GridScheduler
+from repro.network import cluster, grid, lower_bound_grid, lower_bound_tree, star
+from repro.viz import (
+    render_block_graph,
+    render_cluster,
+    render_gantt,
+    render_line_blocks,
+    render_object_path,
+    render_star_rings,
+    render_subgrid_order,
+)
+from repro.workloads import random_k_subsets, root_rng
+
+
+def main() -> None:
+    print("=== Fig 1 (line, n=32, ell=8) " + "=" * 30)
+    print(render_line_blocks(32, 8))
+
+    print("\n=== Fig 2 (16x16 grid, 4x4 subgrids) " + "=" * 23)
+    print(render_subgrid_order(16, 16, 4))
+    rng = root_rng(7)
+    inst = random_k_subsets(grid(16), w=16, k=2, rng=rng)
+    sched = GridScheduler(side=4).schedule(inst)
+    sched.validate()
+    hot = max(inst.objects, key=inst.load)
+    print()
+    print(render_object_path(sched, hot, cols=16))
+
+    print("\n=== Fig 3 (cluster graph, 5 cliques x 6) " + "=" * 19)
+    print(render_cluster(cluster(5, 6, gamma=8)))
+
+    print("\n=== Fig 4 (star, 8 rays x 7 nodes) " + "=" * 25)
+    print(render_star_rings(star(8, 7)))
+
+    print("\n=== Fig 5 (grid-of-blocks, s=4) " + "=" * 28)
+    print(render_block_graph(lower_bound_grid(4)))
+
+    print("\n=== Fig 6 (tree-of-blocks, s=4) " + "=" * 28)
+    print(render_block_graph(lower_bound_tree(4)))
+
+    print("\n=== bonus: schedule gantt (first 12 txns of the Fig 2 run) ===")
+    tids = sorted(sched.commit_times)[:12]
+    print(render_gantt(sched, tids=tids))
+
+
+if __name__ == "__main__":
+    main()

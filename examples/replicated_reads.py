@@ -1,0 +1,55 @@
+"""Scenario: a read-mostly workload under versioned reads (§1.2).
+
+A metadata service: most transactions only read the shared catalog
+objects; a few update them.  Under the base data-flow model the single
+master copy serializes even the readers; under the versioned-read model
+(replication extension) readers receive shipped snapshots and only
+writer-involved conflicts remain.  The sweep shows the speedup collapsing
+to 1x as the write fraction approaches one -- where the extension
+coincides with the paper's model exactly.
+
+Run:  python examples/replicated_reads.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.core import GreedyScheduler
+from repro.network import grid
+from repro.replication import (
+    ReplicatedGreedyScheduler,
+    build_rw_dependency,
+    random_rw_instance,
+)
+from repro.workloads import root_rng
+
+
+def main() -> None:
+    net = grid(8)
+    print("read-mostly catalog service on an 8x8 mesh, 16 objects, k=2")
+    table = Table(
+        "write-fraction sweep",
+        columns=["write_frac", "single_copy", "versioned", "speedup",
+                 "conflict_edges"],
+    )
+    for wf in (0.0, 0.05, 0.2, 0.5, 1.0):
+        rng = root_rng(int(wf * 100))
+        inst = random_rw_instance(net, w=16, k=2, write_fraction=wf, rng=rng)
+        versioned = ReplicatedGreedyScheduler().schedule(inst)
+        versioned.validate()
+        base = GreedyScheduler().schedule(inst.as_single_copy())
+        base.validate()
+        table.add(
+            write_frac=wf,
+            single_copy=base.makespan,
+            versioned=versioned.makespan,
+            speedup=round(base.makespan / versioned.makespan, 2),
+            conflict_edges=build_rw_dependency(inst).num_edges,
+        )
+    print(table.render())
+    print("\nRead-read sharing is conflict-free under versioning, so the")
+    print("dependency graph thins out and the greedy colouring collapses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works on offline machines that lack
+the ``wheel`` package (PEP 660 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

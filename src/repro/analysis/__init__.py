@@ -1,0 +1,14 @@
+"""Measurement, aggregation, and reporting utilities."""
+
+from .metrics import Evaluation, evaluate
+from .stats import Summary, geometric_mean, summarize
+from .tables import Table
+
+__all__ = [
+    "Evaluation",
+    "evaluate",
+    "Summary",
+    "summarize",
+    "geometric_mean",
+    "Table",
+]

@@ -1,0 +1,59 @@
+"""Small statistics helpers for aggregating repeated trials."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of a sample of trial measurements."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def fmt(self, digits: int = 2) -> str:
+        """``mean +/- ci`` rendering."""
+        return f"{self.mean:.{digits}f}±{self.ci95_half_width:.{digits}f}"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = 1.96 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci95_half_width=half,
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (ratios aggregate multiplicatively)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

@@ -1,0 +1,76 @@
+"""Fixed-width table rendering for experiment reports.
+
+Experiments return a :class:`Table` (column order + row dicts); the CLI and
+benches print it, and EXPERIMENTS.md embeds the rendered output verbatim,
+so results stay greppable and diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An ordered collection of result rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        """Append a row; unknown keys are rejected to catch typos."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)} for {self.title!r}")
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form footnote."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (missing cells skipped)."""
+        return [r[name] for r in self.rows if name in r]
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        widths = {c: len(c) for c in self.columns}
+        rendered_rows = []
+        for row in self.rows:
+            cells = {c: _fmt(row.get(c, "")) for c in self.columns}
+            for c, text in cells.items():
+                widths[c] = max(widths[c], len(text))
+            rendered_rows.append(cells)
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "  ".join("-" * widths[c] for c in self.columns)
+        lines = [self.title, header, rule]
+        for cells in rendered_rows:
+            lines.append("  ".join(cells[c].ljust(widths[c]) for c in self.columns))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        head = "| " + " | ".join(self.columns) + " |"
+        rule = "| " + " | ".join("---" for _ in self.columns) + " |"
+        lines = [head, rule]
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_fmt(row.get(c, "")) for c in self.columns) + " |"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

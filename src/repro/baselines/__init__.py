@@ -1,0 +1,15 @@
+"""Baseline schedulers the paper's algorithms are compared against (E9)."""
+
+from .list_scheduler import (
+    ListScheduler,
+    RandomOrderScheduler,
+    SequentialScheduler,
+    TSPOrderScheduler,
+)
+
+__all__ = [
+    "ListScheduler",
+    "SequentialScheduler",
+    "RandomOrderScheduler",
+    "TSPOrderScheduler",
+]

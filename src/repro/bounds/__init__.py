@@ -1,0 +1,40 @@
+"""Lower bounds: object walks/tours, certified makespan bounds, §8 instances."""
+
+from .construction import (
+    HardInstance,
+    a_object,
+    b_object,
+    hard_grid_instance,
+    hard_tree_instance,
+)
+from .exact import EXACT_TXN_LIMIT, optimal_schedule
+from .lower import ObjectBounds, makespan_lower_bound, object_report
+from .walks import (
+    held_karp_path,
+    mst_weight,
+    nearest_neighbor_path,
+    path_length,
+    tour_length,
+    two_opt_path,
+    walk_bounds,
+)
+
+__all__ = [
+    "optimal_schedule",
+    "EXACT_TXN_LIMIT",
+    "ObjectBounds",
+    "object_report",
+    "makespan_lower_bound",
+    "held_karp_path",
+    "nearest_neighbor_path",
+    "two_opt_path",
+    "path_length",
+    "mst_weight",
+    "walk_bounds",
+    "tour_length",
+    "HardInstance",
+    "hard_grid_instance",
+    "hard_tree_instance",
+    "a_object",
+    "b_object",
+]

@@ -1,0 +1,110 @@
+"""The §8 lower-bound problem instances (Theorem 6, Figs 5-6).
+
+On the grid-of-blocks (or tree-of-blocks) substrate with ``s`` blocks
+``H_1..H_s`` of ``s x sqrt(s)`` nodes, each transaction uses exactly two
+objects:
+
+* its block's *serializer* ``a_i`` (set ``A``), requested by every
+  transaction of block ``H_i`` and homed at the top-left node of ``H_1``;
+* one uniformly random ``b_j`` from the pool ``B = {b_1..b_s}``; each
+  ``b_j`` is homed at a node of ``H_1`` that requests it (or the top-left
+  node of ``H_1`` if none does).
+
+Lemma 10 shows every object's shortest walk (hence TSP tour) is ``O(s^2)``
+w.h.p., while Theorem 6 shows every schedule needs
+``Omega(s^{33/16}/log s)`` -- the instances that separate achievable
+makespan from the TSP lower bound.  Object ids: ``a_i`` is ``i`` (0-based
+block index), ``b_j`` is ``s + j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.transaction import Transaction
+from ..network.graph import Network
+from ..network.topologies import lower_bound_grid, lower_bound_tree
+
+__all__ = [
+    "HardInstance",
+    "hard_grid_instance",
+    "hard_tree_instance",
+    "a_object",
+    "b_object",
+]
+
+
+def a_object(block: int) -> int:
+    """Object id of the block serializer ``a_{block}`` (0-based block)."""
+    return block
+
+
+def b_object(s: int, j: int) -> int:
+    """Object id of pool object ``b_j`` (0-based ``j``)."""
+    return s + j
+
+
+@dataclass(frozen=True)
+class HardInstance:
+    """A generated §8 instance plus its structural metadata."""
+
+    instance: Instance
+    s: int
+    kind: str  # "grid" or "tree"
+
+    @property
+    def network(self) -> Network:
+        return self.instance.network
+
+    def block_of(self, node: int) -> int:
+        """Block index of ``node``."""
+        root = self.network.topology.require("root_s")
+        cols = self.network.topology.require("cols")
+        return (node % cols) // root
+
+
+def _build(net: Network, s: int, kind: str, rng: np.random.Generator) -> HardInstance:
+    topo = net.topology
+    blocks = topo.require("blocks")
+    top_left_h1 = blocks[0][0]
+
+    picks = rng.integers(0, s, size=net.n)
+    transactions = []
+    tid = 0
+    for block_idx, members in enumerate(blocks):
+        for node in members:
+            transactions.append(
+                Transaction(
+                    tid,
+                    node,
+                    (a_object(block_idx), b_object(s, int(picks[node]))),
+                )
+            )
+            tid += 1
+
+    homes = {a_object(i): top_left_h1 for i in range(s)}
+    # b_j starts at an H_1 node that requests it, if any (paper's rule)
+    h1_nodes = set(blocks[0])
+    for j in range(s):
+        requesters = [
+            t.node
+            for t in transactions
+            if t.node in h1_nodes and b_object(s, j) in t.objects
+        ]
+        homes[b_object(s, j)] = min(requesters) if requesters else top_left_h1
+
+    inst = Instance(net, transactions, homes)
+    return HardInstance(instance=inst, s=s, kind=kind)
+
+
+def hard_grid_instance(s: int, rng: np.random.Generator) -> HardInstance:
+    """The §8.1 grid instance ``I_s`` (Fig 5): ``n = s^{5/2}`` nodes, k = 2."""
+    return _build(lower_bound_grid(s), s, "grid", rng)
+
+
+def hard_tree_instance(s: int, rng: np.random.Generator) -> HardInstance:
+    """The §8.2 tree instance (Fig 6): same distribution on the comb-tree blocks."""
+    return _build(lower_bound_tree(s), s, "tree", rng)

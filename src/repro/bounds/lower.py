@@ -1,0 +1,102 @@
+"""Certified makespan lower bounds for problem instances.
+
+Every theorem in the paper compares a schedule against lower bounds rather
+than the (NP-hard) optimum; the experiments do the same.  For an instance:
+
+* **walk bound** -- an object at unit speed must cover its shortest walk
+  (home -> all requesters), so ``max_o walk(o)`` lower-bounds the makespan;
+  we use the exact Held-Karp value for small user sets and the MST bound
+  otherwise (both certified).
+* **load bound** -- an object used by ``ell`` transactions forces ``ell``
+  distinct commit steps separated by at least the minimum pairwise
+  requester distance: ``(ell - 1) * min_gap + 1``.
+* the trivial ``>= 1``.
+
+:func:`makespan_lower_bound` returns the max of all of these, and
+:func:`object_report` exposes the per-object detail used by the §8
+experiments (walk and tour estimates per object).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.instance import Instance
+from .walks import mst_weight, tour_length, walk_bounds
+
+__all__ = ["ObjectBounds", "object_report", "makespan_lower_bound"]
+
+
+@dataclass(frozen=True)
+class ObjectBounds:
+    """Per-object travel bounds.
+
+    ``walk_lower``/``walk_upper`` bracket the shortest walk from the home;
+    ``tour_estimate`` is a heuristic closed TSP tour over the requesters
+    (the quantity Theorem 6 is phrased in); ``load`` is the user count.
+    """
+
+    obj: int
+    load: int
+    walk_lower: int
+    walk_upper: int
+    tour_estimate: int
+    tour_lower: int
+
+
+def _required_nodes(instance: Instance, obj: int) -> list[int]:
+    nodes = {t.node for t in instance.users(obj)}
+    nodes.add(instance.home(obj))
+    return sorted(nodes)
+
+
+def object_report(instance: Instance) -> Dict[int, ObjectBounds]:
+    """Compute :class:`ObjectBounds` for every object with at least one user."""
+    dist_matrix = instance.network.distance_matrix
+    report: Dict[int, ObjectBounds] = {}
+    for obj in instance.objects:
+        users = instance.users(obj)
+        if not users:
+            continue
+        nodes = _required_nodes(instance, obj)
+        idx = np.asarray(nodes, dtype=np.intp)
+        sub = dist_matrix[np.ix_(idx, idx)]
+        start = nodes.index(instance.home(obj))
+        lo, hi = walk_bounds(sub, start)
+        report[obj] = ObjectBounds(
+            obj=obj,
+            load=len(users),
+            walk_lower=lo,
+            walk_upper=hi,
+            tour_estimate=tour_length(sub),
+            tour_lower=mst_weight(sub),
+        )
+    return report
+
+
+def _load_bound(instance: Instance, obj: int) -> int:
+    """``(ell - 1) * min_gap + 1``: commits sharing an object are spaced."""
+    users = instance.users(obj)
+    if len(users) < 2:
+        return 1
+    dist = instance.network.dist
+    nodes = [t.node for t in users]
+    min_gap = min(
+        dist(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1 :]
+    )
+    return (len(users) - 1) * min_gap + 1
+
+
+def makespan_lower_bound(
+    instance: Instance, report: Dict[int, ObjectBounds] | None = None
+) -> int:
+    """Largest certified lower bound on any schedule's makespan."""
+    if report is None:
+        report = object_report(instance)
+    best = 1
+    for obj, ob in report.items():
+        best = max(best, ob.walk_lower, _load_bound(instance, obj))
+    return best

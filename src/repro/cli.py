@@ -1,0 +1,232 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-dtm run e1 e7 --quick      # rerun experiment tables (default)
+    repro-dtm run all --seed 7
+    repro-dtm schedule --topology clique --size 32 --objects 16 --k 2
+    repro-dtm figures                # regenerate the paper's figures (ASCII)
+    repro-dtm validate sched.json    # check a saved schedule end to end
+    repro-dtm --list                 # list experiments
+
+Bare experiment ids (``python -m repro e1 --quick``) are accepted without
+the ``run`` keyword for convenience.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments.registry import TITLES, experiment_ids, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_run(args) -> int:
+    targets = (
+        experiment_ids() if "all" in args.experiments else list(args.experiments)
+    )
+    for eid in targets:
+        t0 = time.perf_counter()
+        table = run_experiment(eid, seed=args.seed, quick=args.quick)
+        dt = time.perf_counter() - t0
+        print(table.to_markdown() if args.markdown else table.render())
+        print(f"[{eid} finished in {dt:.1f}s]")
+        print()
+    return 0
+
+
+def _build_network(args):
+    from . import network as nets
+    from .errors import ReproError
+
+    size, size2 = args.size, args.size2
+    builders = {
+        "clique": lambda: nets.clique(size),
+        "line": lambda: nets.line(size),
+        "grid": lambda: nets.grid(size, size2),
+        "hypercube": lambda: nets.hypercube(size),
+        "butterfly": lambda: nets.butterfly(size),
+        "cluster": lambda: nets.cluster(size, size2 or 4),
+        "star": lambda: nets.star(size, size2 or 7),
+    }
+    try:
+        return builders[args.topology]()
+    except KeyError:
+        raise ReproError(
+            f"unknown topology {args.topology!r}; choose from {sorted(builders)}"
+        ) from None
+
+
+def _cmd_schedule(args) -> int:
+    import numpy as np
+
+    from .analysis.metrics import evaluate
+    from .core import get_scheduler, scheduler_for
+    from .viz import render_gantt
+    from .workloads import hot_object_instance, random_k_subsets, zipf_k_subsets
+
+    net = _build_network(args)
+    rng = np.random.default_rng(args.seed)
+    gen = {
+        "random": random_k_subsets,
+        "zipf": zipf_k_subsets,
+        "hot": hot_object_instance,
+    }[args.workload]
+    inst = gen(net, args.objects, args.k, rng)
+    sched_algo = (
+        scheduler_for(inst)
+        if args.scheduler == "auto"
+        else get_scheduler(args.scheduler)
+    )
+    ev = evaluate(sched_algo, inst, rng)
+    print(
+        f"{net.topology.name} n={net.n} m={inst.m} w={inst.num_objects} "
+        f"k={args.k} workload={args.workload}"
+    )
+    print(
+        f"scheduler={ev.scheduler} makespan={ev.makespan} "
+        f"lower_bound={ev.lower_bound} ratio<={ev.ratio:.3f} "
+        f"comm_cost={ev.communication_cost}"
+    )
+    if args.save:
+        from .io import save_schedule
+
+        schedule = sched_algo.schedule(inst, np.random.default_rng(args.seed))
+        save_schedule(schedule, args.save)
+        print(f"schedule written to {args.save}")
+    if args.gantt:
+        schedule = sched_algo.schedule(inst, np.random.default_rng(args.seed))
+        print(render_gantt(schedule))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .core import GridScheduler
+    from .network import cluster, grid, lower_bound_grid, lower_bound_tree, star
+    from .viz import (
+        render_block_graph,
+        render_cluster,
+        render_line_blocks,
+        render_object_path,
+        render_star_rings,
+        render_subgrid_order,
+    )
+    from .workloads import random_k_subsets, root_rng
+
+    print("Fig 1:", render_line_blocks(32, 8), sep="\n")
+    print("\nFig 2:", render_subgrid_order(16, 16, 4), sep="\n")
+    inst = random_k_subsets(grid(16), w=16, k=2, rng=root_rng(args.seed))
+    sched = GridScheduler(side=4).schedule(inst)
+    hot = max(inst.objects, key=inst.load)
+    print(render_object_path(sched, hot, cols=16))
+    print("\nFig 3:", render_cluster(cluster(5, 6, gamma=8)), sep="\n")
+    print("\nFig 4:", render_star_rings(star(8, 7)), sep="\n")
+    print("\nFig 5:", render_block_graph(lower_bound_grid(4)), sep="\n")
+    print("\nFig 6:", render_block_graph(lower_bound_tree(4)), sep="\n")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .bounds import makespan_lower_bound
+    from .io import load_schedule
+    from .sim import execute
+
+    schedule = load_schedule(args.path)
+    schedule.validate()
+    trace = execute(schedule)
+    lb = makespan_lower_bound(schedule.instance)
+    print(
+        f"OK: {len(schedule.commit_times)} commits, makespan "
+        f"{schedule.makespan} (lower bound {lb}), communication "
+        f"{trace.total_distance}, peak in-flight {trace.max_in_flight}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    out = generate_report(
+        args.output,
+        seed=args.seed,
+        quick=not args.full,
+        experiments=args.experiments or None,
+    )
+    print(f"report written to {out}")
+    return 0
+
+
+def _list_experiments() -> int:
+    for eid in experiment_ids():
+        print(f"{eid:4s} {TITLES[eid]}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # convenience: bare experiment ids imply `run`
+    if argv and (argv[0] in experiment_ids() or argv[0] == "all"):
+        argv.insert(0, "run")
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dtm",
+        description=(
+            "Reproduction of 'Fast Scheduling in Distributed Transactional "
+            "Memory' (SPAA 2017)."
+        ),
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run experiment tables")
+    p_run.add_argument("experiments", nargs="+", help="e1..e13 or 'all'")
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--quick", action="store_true")
+    p_run.add_argument("--markdown", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sched = sub.add_parser("schedule", help="schedule an ad-hoc instance")
+    p_sched.add_argument("--topology", required=True)
+    p_sched.add_argument("--size", type=int, required=True,
+                         help="n / side / dim / alpha (per topology)")
+    p_sched.add_argument("--size2", type=int, default=None,
+                         help="cols / beta / ray length where applicable")
+    p_sched.add_argument("--objects", type=int, default=16)
+    p_sched.add_argument("--k", type=int, default=2)
+    p_sched.add_argument("--workload", default="random",
+                         choices=["random", "zipf", "hot"])
+    p_sched.add_argument("--scheduler", default="auto")
+    p_sched.add_argument("--seed", type=int, default=0)
+    p_sched.add_argument("--save", default=None, help="write schedule JSON")
+    p_sched.add_argument("--gantt", action="store_true")
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    p_fig.add_argument("--seed", type=int, default=7)
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_val = sub.add_parser("validate", help="validate a saved schedule JSON")
+    p_val.add_argument("path")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_rep = sub.add_parser(
+        "report", help="write a full reproduction report (tables + figures)"
+    )
+    p_rep.add_argument("-o", "--output", default="REPRODUCTION_REPORT.md")
+    p_rep.add_argument("--seed", type=int, default=None)
+    p_rep.add_argument("--full", action="store_true",
+                       help="full sweeps (default: quick)")
+    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e15")
+    p_rep.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    if args.list or args.command is None:
+        return _list_experiments()
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Control-flow execution model (§1.2): immobile objects, mobile work."""
+
+from .model import ControlFlowSchedule, LockInterval
+from .scheduler import ControlFlowScheduler
+
+__all__ = ["LockInterval", "ControlFlowSchedule", "ControlFlowScheduler"]

@@ -1,0 +1,175 @@
+"""The control-flow execution model (§1.2; [31], [15], [27]).
+
+In the control-flow model shared objects are **immobile** at their home
+nodes; transactions reach them instead of the other way around, either by
+
+* **RPC**: the transaction stays home and acquires each object's lock by
+  a request/grant round trip (``2 * dist`` per object, overlappable), or
+* **migration**: the transaction's thread physically walks through its
+  objects' homes, acquiring each lock on arrival, and commits at the end
+  of the walk.
+
+Either way, an object's lock is held for an interval of real time and two
+transactions sharing an object must hold it in **disjoint intervals** --
+that is the feasibility condition, replacing the base model's mobile-copy
+itineraries.  Palmieri et al. [27] study exactly this data-flow vs
+control-flow trade-off in partially-replicated TMs; experiment E15
+reproduces the comparison on this library's substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..core.instance import Instance
+from ..errors import InfeasibleScheduleError
+
+__all__ = ["LockInterval", "ControlFlowSchedule"]
+
+
+@dataclass(frozen=True)
+class LockInterval:
+    """One transaction's exclusive hold of one object's lock.
+
+    Held during ``[acquire, release)`` at the object's home node.
+    """
+
+    tid: int
+    obj: int
+    acquire: int
+    release: int
+
+    def overlaps(self, other: "LockInterval") -> bool:
+        """True iff the two holds intersect in time."""
+        return self.acquire < other.release and other.acquire < self.release
+
+
+class ControlFlowSchedule:
+    """Start/commit times plus per-object lock intervals.
+
+    Parameters
+    ----------
+    instance:
+        The (base-model) instance being executed control-flow style; its
+        ``object_homes`` are the immobile lock locations.
+    start_times / commit_times:
+        Per-transaction execution window.
+    locks:
+        ``(tid, obj) -> LockInterval``; must cover every access.
+    mode:
+        Free-form label (``"rpc"``, ``"migration"``, ``"hybrid"``).
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        start_times: Mapping[int, int],
+        commit_times: Mapping[int, int],
+        locks: Mapping[tuple[int, int], LockInterval],
+        mode: str = "rpc",
+        meta: Mapping[str, object] | None = None,
+    ) -> None:
+        self.instance = instance
+        self.start_times = {t: int(v) for t, v in start_times.items()}
+        self.commit_times = {t: int(v) for t, v in commit_times.items()}
+        self.locks: Dict[tuple[int, int], LockInterval] = dict(locks)
+        self.mode = mode
+        self.meta: Dict[str, object] = dict(meta or {})
+        for t in instance.transactions:
+            if t.tid not in self.commit_times:
+                raise InfeasibleScheduleError(
+                    f"transaction {t.tid} has no commit time"
+                )
+
+    @property
+    def makespan(self) -> int:
+        """Time of the last commit."""
+        return max(self.commit_times.values())
+
+    def time_of(self, tid: int) -> int:
+        return self.commit_times[tid]
+
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Raise :class:`InfeasibleScheduleError` unless feasible.
+
+        Checks: every access has a lock interval; intervals cover the
+        physics of their mode (acquire no earlier than the request can
+        reach the home, release no earlier than commit news can); and
+        conflicting holds are disjoint.
+        """
+        inst = self.instance
+        dist = inst.network.dist
+        by_obj: Dict[int, list[LockInterval]] = {}
+        for t in inst.transactions:
+            start = self.start_times[t.tid]
+            commit = self.commit_times[t.tid]
+            if commit < start:
+                raise InfeasibleScheduleError(
+                    f"transaction {t.tid} commits at {commit} before its "
+                    f"start {start}"
+                )
+            for obj in t.objects:
+                iv = self.locks.get((t.tid, obj))
+                if iv is None:
+                    raise InfeasibleScheduleError(
+                        f"transaction {t.tid} holds no lock on object {obj}"
+                    )
+                d = dist(t.node, inst.home(obj))
+                if iv.acquire < start + d:
+                    raise InfeasibleScheduleError(
+                        f"lock ({t.tid}, {obj}) acquired at {iv.acquire}, "
+                        f"before a request from node {t.node} can arrive "
+                        f"(start {start} + dist {d})"
+                    )
+                if iv.release <= commit:
+                    raise InfeasibleScheduleError(
+                        f"lock ({t.tid}, {obj}) released at {iv.release}, "
+                        f"but the hold must strictly contain the commit "
+                        f"step {commit}"
+                    )
+                by_obj.setdefault(obj, []).append(iv)
+        for obj, ivals in by_obj.items():
+            ivals.sort(key=lambda iv: (iv.acquire, iv.tid))
+            for a, b in zip(ivals, ivals[1:]):
+                if a.overlaps(b):
+                    raise InfeasibleScheduleError(
+                        f"object {obj}: transactions {a.tid} and {b.tid} "
+                        f"hold the lock simultaneously "
+                        f"([{a.acquire},{a.release}) vs "
+                        f"[{b.acquire},{b.release}))"
+                    )
+
+    def is_feasible(self) -> bool:
+        try:
+            self.validate()
+        except InfeasibleScheduleError:
+            return False
+        return True
+
+    @property
+    def communication_cost(self) -> int:
+        """Total message/thread distance.
+
+        RPC: two trips per access (request + grant) plus release; we count
+        the canonical ``2 * dist`` per access.  Migration: the thread's
+        walk, approximated by summing lock-to-lock hops recorded in meta
+        when present, else the RPC accounting.
+        """
+        if "walk_cost" in self.meta:
+            return int(self.meta["walk_cost"])  # set by migration scheduler
+        inst = self.instance
+        dist = inst.network.dist
+        total = 0
+        for t in inst.transactions:
+            for obj in t.objects:
+                total += 2 * dist(t.node, inst.home(obj))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ControlFlowSchedule(mode={self.mode!r}, "
+            f"m={len(self.commit_times)}, makespan={self.makespan})"
+        )

@@ -1,0 +1,44 @@
+"""Core scheduling library: the paper's contribution.
+
+Problem model (:class:`Transaction`, :class:`Instance`), schedules and
+feasibility (:class:`Schedule`), the §2.3 greedy colouring engine, and one
+scheduler per topology family of §3-§7.
+"""
+
+from .cluster import ClusterScheduler, object_cluster_spread
+from .coloring import greedy_color, validate_coloring
+from .dependency import DependencyGraph
+from .dispatch import schedule_instance, scheduler_for
+from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
+from .grid import GridScheduler
+from .instance import Instance
+from .line import LineScheduler
+from .retime import compact_schedule
+from .schedule import Schedule, Visit
+from .scheduler import Scheduler, available_schedulers, get_scheduler
+from .star import StarScheduler
+from .transaction import Transaction
+
+__all__ = [
+    "Transaction",
+    "Instance",
+    "Schedule",
+    "Visit",
+    "DependencyGraph",
+    "greedy_color",
+    "validate_coloring",
+    "Scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "GreedyScheduler",
+    "compact_schedule",
+    "CliqueScheduler",
+    "DiameterScheduler",
+    "LineScheduler",
+    "GridScheduler",
+    "ClusterScheduler",
+    "object_cluster_spread",
+    "StarScheduler",
+    "scheduler_for",
+    "schedule_instance",
+]

@@ -1,0 +1,48 @@
+"""Automatic scheduler selection from topology metadata.
+
+:func:`schedule_instance` is the library's one-call entry point: it reads
+the network's :class:`~repro.network.graph.Topology` tag, picks the
+paper's scheduler for that family, and returns a feasible schedule.
+Unknown/generic topologies fall back to the basic greedy schedule, whose
+``O(k * ell * d)`` guarantee (§3.1) holds on any graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cluster import ClusterScheduler
+from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
+from .grid import GridScheduler
+from .instance import Instance
+from .line import LineScheduler
+from .schedule import Schedule
+from .scheduler import Scheduler
+from .star import StarScheduler
+
+__all__ = ["scheduler_for", "schedule_instance"]
+
+_BY_TOPOLOGY = {
+    "clique": CliqueScheduler,
+    "hypercube": DiameterScheduler,
+    "butterfly": DiameterScheduler,
+    "ddim-grid": DiameterScheduler,
+    "torus": DiameterScheduler,
+    "line": LineScheduler,
+    "grid": GridScheduler,
+    "cluster": ClusterScheduler,
+    "star": StarScheduler,
+}
+
+
+def scheduler_for(instance: Instance) -> Scheduler:
+    """Instantiate the paper's scheduler for the instance's topology."""
+    factory = _BY_TOPOLOGY.get(instance.network.topology.name, GreedyScheduler)
+    return factory()
+
+
+def schedule_instance(
+    instance: Instance, rng: np.random.Generator | None = None
+) -> Schedule:
+    """Schedule ``instance`` with the topology-appropriate algorithm."""
+    return scheduler_for(instance).schedule(instance, rng)

@@ -1,0 +1,184 @@
+"""Batch scheduling problem instances (§2.1).
+
+An :class:`Instance` bundles a communication graph, a batch of transactions
+(at most one per node), and the initial home node of every shared object
+(single copy each).  It validates the model constraints at construction and
+precomputes the users-per-object index that every scheduler needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import InstanceError
+from ..network.graph import Network
+from .transaction import Transaction
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """A validated batch scheduling problem.
+
+    Parameters
+    ----------
+    network:
+        The communication graph ``G``.
+    transactions:
+        The batch ``T = {T_1..T_m}``; at most one transaction per node, all
+        tids unique, every referenced object must have a home.
+    object_homes:
+        ``object id -> initial node``.  The paper usually assumes each
+        object starts at a node whose transaction requests it; this is not
+        enforced (schedulers handle arbitrary homes) but
+        :attr:`homes_at_requesters` reports whether it holds.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        transactions: Iterable[Transaction],
+        object_homes: Mapping[int, int],
+    ) -> None:
+        self.network = network
+        self.transactions: tuple[Transaction, ...] = tuple(transactions)
+        self.object_homes: dict[int, int] = {
+            int(o): int(v) for o, v in object_homes.items()
+        }
+
+        if not self.transactions:
+            raise InstanceError("instance must contain at least one transaction")
+        if len(self.transactions) > network.n:
+            raise InstanceError(
+                f"{len(self.transactions)} transactions exceed {network.n} nodes"
+            )
+
+        seen_nodes: set[int] = set()
+        seen_tids: set[int] = set()
+        users: dict[int, list[Transaction]] = {}
+        for t in self.transactions:
+            if t.tid in seen_tids:
+                raise InstanceError(f"duplicate transaction id {t.tid}")
+            seen_tids.add(t.tid)
+            if not (0 <= t.node < network.n):
+                raise InstanceError(
+                    f"transaction {t.tid} placed at node {t.node} outside graph"
+                )
+            if t.node in seen_nodes:
+                raise InstanceError(
+                    f"node {t.node} hosts more than one transaction"
+                )
+            seen_nodes.add(t.node)
+            for o in t.objects:
+                users.setdefault(o, []).append(t)
+
+        for o in users:
+            if o not in self.object_homes:
+                raise InstanceError(f"object {o} has no home node")
+        for o, v in self.object_homes.items():
+            if not (0 <= v < network.n):
+                raise InstanceError(f"object {o} home {v} outside graph")
+
+        self._users: dict[int, tuple[Transaction, ...]] = {
+            o: tuple(ts) for o, ts in users.items()
+        }
+        self._by_tid: dict[int, Transaction] = {
+            t.tid: t for t in self.transactions
+        }
+        self._by_node: dict[int, Transaction] = {
+            t.node: t for t in self.transactions
+        }
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of transactions in the batch."""
+        return len(self.transactions)
+
+    @property
+    def objects(self) -> tuple[int, ...]:
+        """All object ids with a home, sorted."""
+        return tuple(sorted(self.object_homes))
+
+    @property
+    def num_objects(self) -> int:
+        """Number of shared objects ``w``."""
+        return len(self.object_homes)
+
+    @property
+    def max_k(self) -> int:
+        """Largest per-transaction object count ``k``."""
+        return max(t.k for t in self.transactions)
+
+    @property
+    def paper_m(self) -> int:
+        """The paper's ``m = max(n, w)`` used in the w.h.p. bounds."""
+        return max(self.network.n, self.num_objects)
+
+    def users(self, obj: int) -> tuple[Transaction, ...]:
+        """Transactions requesting object ``obj`` (may be empty)."""
+        return self._users.get(obj, ())
+
+    def load(self, obj: int) -> int:
+        """``ell_i``: number of transactions requesting object ``obj``."""
+        return len(self._users.get(obj, ()))
+
+    @property
+    def max_load(self) -> int:
+        """``ell = max_i ell_i``: the heaviest object's user count."""
+        return max((len(ts) for ts in self._users.values()), default=0)
+
+    def transaction(self, tid: int) -> Transaction:
+        """Lookup by transaction id."""
+        return self._by_tid[tid]
+
+    def transaction_at(self, node: int) -> Transaction | None:
+        """The transaction hosted at ``node``, or None."""
+        return self._by_node.get(node)
+
+    def home(self, obj: int) -> int:
+        """Initial node of object ``obj``."""
+        return self.object_homes[obj]
+
+    @property
+    def homes_at_requesters(self) -> bool:
+        """True iff every used object starts at a node that requests it.
+
+        This is the paper's standing assumption for the Line/Grid/§8
+        constructions; the schedulers remain correct without it.
+        """
+        for o, ts in self._users.items():
+            home = self.object_homes[o]
+            if all(t.node != home for t in ts):
+                return False
+        return True
+
+    def restrict(
+        self,
+        tids: Sequence[int],
+        object_positions: Mapping[int, int] | None = None,
+    ) -> "Instance":
+        """Sub-instance over a subset of transactions.
+
+        ``object_positions`` overrides homes (used by phased schedulers that
+        hand a later phase the objects' *current* locations); only objects
+        referenced by the kept transactions need positions.
+        """
+        keep = [self._by_tid[t] for t in tids]
+        needed = set()
+        for t in keep:
+            needed |= t.objects
+        pos = dict(self.object_homes)
+        if object_positions:
+            pos.update(object_positions)
+        homes = {o: pos[o] for o in needed}
+        return Instance(self.network, keep, homes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instance(n={self.network.n}, m={self.m}, "
+            f"w={self.num_objects}, k<={self.max_k})"
+        )

@@ -1,0 +1,148 @@
+"""Line graph scheduler (§4, Theorem 2, Fig 1).
+
+The line algorithm is asymptotically optimal: with ``ell`` the longest
+shortest *walk* any object needs (start at its home, visit all its
+requesters), the line is cut into consecutive blocks of ``ell`` nodes; the
+even-indexed blocks execute in phase 1 and the odd-indexed blocks in
+phase 2.  Because same-phase blocks are separated by a full block
+(distance > object span), no object is needed by two same-phase blocks, so
+all blocks of a phase run in parallel as left-to-right waves.  Each phase
+is preceded by a repositioning period that parks every object at the
+leftmost node of its (unique) block that requests it.
+
+Makespan is at most ``reposition_1 + ell + reposition_2 + ell <= 4 * ell``,
+and ``ell`` (the max shortest walk) is itself a lower bound on any
+schedule, so the result is a 4-approximation -- Theorem 2's constant
+factor.  (The paper quotes ``4*ell - 2`` under its convention that objects
+start strictly inside their span; we use the measured repositioning
+distances, which match or beat that bound on the paper's instances.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import TopologyError
+from .instance import Instance
+from .schedule import Schedule
+from .scheduler import Scheduler, register
+
+__all__ = ["LineScheduler", "line_walk_length"]
+
+
+def line_walk_length(home: int, left: int, right: int) -> int:
+    """Shortest walk length on a line: start at ``home``, visit ``[left, right]``."""
+    if home < left:
+        return right - home
+    if home > right:
+        return home - left
+    return (right - left) + min(home - left, right - home)
+
+
+@register("line")
+class LineScheduler(Scheduler):
+    """Two-phase block-wave schedule for the line graph."""
+
+    def schedule(
+        self, instance: Instance, rng: np.random.Generator | None = None
+    ) -> Schedule:
+        net = instance.network
+        if net.topology.name != "line":
+            raise TopologyError(
+                f"LineScheduler needs a 'line' network, got {net.topology.name!r}"
+            )
+        n = net.n
+
+        # node id == position on the line
+        span: Dict[int, tuple[int, int]] = {}
+        ell = 1
+        for obj in instance.objects:
+            users = instance.users(obj)
+            if not users:
+                continue
+            left = min(t.node for t in users)
+            right = max(t.node for t in users)
+            span[obj] = (left, right)
+            ell = max(ell, line_walk_length(instance.home(obj), left, right))
+
+        def block_index(node: int) -> int:
+            return node // ell
+
+        commits: Dict[int, int] = {}
+        positions = dict(instance.object_homes)
+
+        def run_wave(parity: int, t0: int) -> int:
+            """Reposition + execute all blocks with ``index % 2 == parity``.
+
+            Returns the absolute end time of the wave.
+            """
+            # target: leftmost requesting node inside this parity's blocks
+            targets: Dict[int, int] = {}
+            for obj, (_, _) in span.items():
+                nodes = [
+                    t.node
+                    for t in instance.users(obj)
+                    if t.tid not in commits and block_index(t.node) % 2 == parity
+                ]
+                if nodes:
+                    targets[obj] = min(nodes)
+            reposition = 0
+            for obj, tgt in targets.items():
+                reposition = max(reposition, abs(positions[obj] - tgt))
+            start = t0 + reposition
+            wave_len = 0
+            for t in instance.transactions:
+                if t.tid in commits:
+                    continue
+                b = block_index(t.node)
+                if b % 2 != parity:
+                    continue
+                rel = t.node - b * ell
+                commits[t.tid] = start + 1 + rel
+                wave_len = max(wave_len, rel + 1)
+            for obj, tgt in targets.items():
+                # the wave carries the object to its rightmost user
+                right_user = max(
+                    t.node
+                    for t in instance.users(obj)
+                    if block_index(t.node) % 2 == parity
+                )
+                positions[obj] = right_user
+            return start + wave_len
+
+        end1 = run_wave(0, 0)
+        end2 = end1
+        if any(t.tid not in commits for t in instance.transactions):
+            end2 = run_wave(1, end1)
+        assert all(t.tid in commits for t in instance.transactions)
+
+        meta = {
+            "scheduler": self.name,
+            "ell": ell,
+            "blocks": -(-n // ell),
+            "phase1_end": end1,
+            "phase2_end": end2,
+        }
+        return Schedule(instance, commits, meta)
+
+    @staticmethod
+    def ell(instance: Instance) -> int:
+        """The algorithm's ``ell``: max shortest object walk (>= 1)."""
+        best = 1
+        for obj in instance.objects:
+            users = instance.users(obj)
+            if not users:
+                continue
+            left = min(t.node for t in users)
+            right = max(t.node for t in users)
+            best = max(
+                best, line_walk_length(instance.home(obj), left, right)
+            )
+        return best
+
+    @classmethod
+    def theorem_bound(cls, instance: Instance) -> int:
+        """Theorem 2's makespan guarantee: ``4 * ell``."""
+        return 4 * cls.ell(instance)

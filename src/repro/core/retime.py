@@ -1,0 +1,55 @@
+"""Schedule compaction: earliest-feasible retiming of a fixed commit order.
+
+The greedy colouring spaces *every* pair of conflicting commits by
+``h_max`` (the worst conflict distance), even when the actual objects
+have shorter trips.  Compaction keeps the schedule's per-object visit
+orders -- the serialization the colouring chose, which carries the
+theorem's guarantee -- and re-times every commit to the earliest step its
+objects can actually arrive.  The result is never later than the input
+(so all upper bounds still hold) and is often 2-4x shorter in practice
+(quantified in E10's ``compaction`` ablation).
+
+Correctness: processing transactions in the original commit order, each
+commit is placed at ``max(1, max_o(release_o + dist(pos_o, node)))``;
+consecutive users of an object are therefore spaced by exactly their
+distance or more, and first legs from homes are respected, so the result
+passes ``Schedule.validate`` by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .schedule import Schedule
+
+__all__ = ["compact_schedule"]
+
+
+def compact_schedule(schedule: Schedule) -> Schedule:
+    """Earliest-feasible retiming preserving the commit order.
+
+    Returns a new :class:`Schedule` whose makespan is at most the
+    original's; ``meta`` gains ``compacted_from`` recording the original
+    makespan.
+    """
+    inst = schedule.instance
+    dist = inst.network.dist
+    order = sorted(
+        inst.transactions,
+        key=lambda t: (schedule.time_of(t.tid), t.tid),
+    )
+    release: Dict[int, int] = {}
+    position: Dict[int, int] = dict(inst.object_homes)
+    commits: Dict[int, int] = {}
+    for t in order:
+        ct = 1
+        for obj in t.objects:
+            ready = release.get(obj, 0) + dist(position[obj], t.node)
+            ct = max(ct, ready)
+        commits[t.tid] = ct
+        for obj in t.objects:
+            release[obj] = ct
+            position[obj] = t.node
+    meta = dict(schedule.meta)
+    meta["compacted_from"] = schedule.makespan
+    return Schedule(inst, commits, meta)

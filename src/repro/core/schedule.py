@@ -1,0 +1,176 @@
+"""Execution schedules and their feasibility semantics (§2.1, Def. 1).
+
+A schedule assigns every transaction its commit time step ``t(T_i)``.  The
+induced *itinerary* of each object is: start at its home at time 0, then
+visit its requesting transactions in commit-time order.  The schedule is
+feasible iff every itinerary leg ``(t_a, u) -> (t_b, v)`` satisfies
+``t_b - t_a >= dist(u, v)``: objects move at unit speed along shortest
+paths, and a transaction may forward its objects in the same step it
+commits (the paper's receive/execute/forward step semantics).
+
+Two transactions sharing an object therefore can never commit at the same
+time step (their nodes are distinct, so the distance between them is >= 1);
+the checker rejects such ties, which is exactly the conflict-freedom the
+paper's schedules guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..errors import InfeasibleScheduleError
+from .instance import Instance
+
+__all__ = ["Visit", "Schedule"]
+
+
+@dataclass(frozen=True, order=True)
+class Visit:
+    """One stop of an object's itinerary: be at ``node`` at time ``time``."""
+
+    time: int
+    node: int
+    tid: int = -1  # committing transaction, or -1 for the initial placement
+
+
+class Schedule:
+    """Commit times for every transaction of an :class:`Instance`.
+
+    Parameters
+    ----------
+    instance:
+        The problem being scheduled.
+    commit_times:
+        ``tid -> commit time step``; must cover every transaction with a
+        positive integer time.
+    meta:
+        Free-form diagnostics recorded by the scheduler (phase boundaries,
+        rounds used, colour counts, ...); surfaced in experiment reports.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        commit_times: Mapping[int, int],
+        meta: Mapping[str, object] | None = None,
+    ) -> None:
+        self.instance = instance
+        self.commit_times: dict[int, int] = {}
+        for t in instance.transactions:
+            if t.tid not in commit_times:
+                raise InfeasibleScheduleError(
+                    f"transaction {t.tid} has no commit time"
+                )
+            ct = int(commit_times[t.tid])
+            if ct < 1:
+                raise InfeasibleScheduleError(
+                    f"transaction {t.tid} commit time {ct} must be >= 1"
+                )
+            self.commit_times[t.tid] = ct
+        self.meta: dict[str, object] = dict(meta or {})
+        self._itineraries: dict[int, tuple[Visit, ...]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def makespan(self) -> int:
+        """Time at which the last transaction commits (Def. 1)."""
+        return max(self.commit_times.values())
+
+    def time_of(self, tid: int) -> int:
+        """Commit time of transaction ``tid``."""
+        return self.commit_times[tid]
+
+    def itinerary(self, obj: int) -> tuple[Visit, ...]:
+        """The object's visit sequence: home at t=0, then users by commit time."""
+        return self._build_itineraries()[obj]
+
+    def itineraries(self) -> Iterator[tuple[int, tuple[Visit, ...]]]:
+        """Iterate ``(object id, itinerary)`` for every object."""
+        return iter(self._build_itineraries().items())
+
+    def _build_itineraries(self) -> dict[int, tuple[Visit, ...]]:
+        if self._itineraries is None:
+            inst = self.instance
+            built: dict[int, tuple[Visit, ...]] = {}
+            for obj in inst.objects:
+                visits = [Visit(0, inst.home(obj), -1)]
+                stops = sorted(
+                    (self.commit_times[t.tid], t.node, t.tid)
+                    for t in inst.users(obj)
+                )
+                visits.extend(Visit(tm, nd, td) for tm, nd, td in stops)
+                built[obj] = tuple(visits)
+            self._itineraries = built
+        return self._itineraries
+
+    # ------------------------------------------------------------------ #
+    # feasibility
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Raise :class:`InfeasibleScheduleError` unless feasible.
+
+        Checks every itinerary leg against the shortest-path distance and
+        rejects simultaneous commits of conflicting transactions.
+        """
+        dist = self.instance.network.dist
+        for obj, visits in self._build_itineraries().items():
+            for a, b in zip(visits, visits[1:]):
+                gap = b.time - a.time
+                d = dist(a.node, b.node)
+                if gap < d:
+                    raise InfeasibleScheduleError(
+                        f"object {obj}: leg (t={a.time}, node {a.node}) -> "
+                        f"(t={b.time}, node {b.node}) allows {gap} steps but "
+                        f"needs {d}"
+                    )
+                if gap == 0 and a.node != b.node:
+                    raise InfeasibleScheduleError(
+                        f"object {obj} required at nodes {a.node} and "
+                        f"{b.node} simultaneously at t={a.time}"
+                    )
+
+    def is_feasible(self) -> bool:
+        """True iff :meth:`validate` passes."""
+        try:
+            self.validate()
+        except InfeasibleScheduleError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+
+    @property
+    def communication_cost(self) -> int:
+        """Total shortest-path distance travelled by all objects.
+
+        This is the communication-cost objective of the prior work the
+        paper contrasts with (Busch et al. [3] show it trades off against
+        execution time).
+        """
+        dist = self.instance.network.dist
+        total = 0
+        for _, visits in self._build_itineraries().items():
+            for a, b in zip(visits, visits[1:]):
+                total += dist(a.node, b.node)
+        return total
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data summary (for tables / JSON)."""
+        return {
+            "makespan": self.makespan,
+            "communication_cost": self.communication_cost,
+            "transactions": len(self.commit_times),
+            **{f"meta.{k}": v for k, v in self.meta.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(m={len(self.commit_times)}, makespan={self.makespan})"
+        )

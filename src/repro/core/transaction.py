@@ -1,0 +1,59 @@
+"""Transactions in the data-flow distributed TM model.
+
+A transaction is an atomic code block pinned to a node of the communication
+graph; it names the set of shared objects it needs and commits once all of
+them have been assembled at its node (§2.1).  Scheduling does not
+distinguish reads from writes -- any two transactions sharing an object
+conflict -- so a transaction is fully described by its node and object set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from ..errors import InstanceError
+
+__all__ = ["Transaction"]
+
+
+@dataclass(frozen=True, order=True)
+class Transaction:
+    """An immutable transaction record.
+
+    Attributes
+    ----------
+    tid:
+        Unique transaction identifier within an instance.
+    node:
+        The graph node where the transaction executes (``v_i`` in the paper).
+    objects:
+        The set ``O(T_i)`` of object ids the transaction needs; must be
+        non-empty (a transaction with no objects is trivially schedulable
+        and excluded from the model).
+    """
+
+    tid: int
+    node: int
+    objects: FrozenSet[int] = field(compare=False)
+
+    def __init__(self, tid: int, node: int, objects: Iterable[int]) -> None:
+        object.__setattr__(self, "tid", int(tid))
+        object.__setattr__(self, "node", int(node))
+        objs = frozenset(int(o) for o in objects)
+        if not objs:
+            raise InstanceError(f"transaction {tid} must request >= 1 object")
+        object.__setattr__(self, "objects", objs)
+
+    @property
+    def k(self) -> int:
+        """Number of objects the transaction requests."""
+        return len(self.objects)
+
+    def uses(self, obj: int) -> bool:
+        """True iff this transaction requests object ``obj``."""
+        return obj in self.objects
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        objs = ",".join(map(str, sorted(self.objects)))
+        return f"Transaction(tid={self.tid}, node={self.node}, objects={{{objs}}})"

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch package failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """The communication graph is malformed (disconnected, bad weights, ...)."""
+
+
+class InstanceError(ReproError):
+    """A scheduling problem instance violates a model constraint.
+
+    The data-flow model of the paper requires at most one transaction per
+    node, a single copy of every object, and positive integer edge weights.
+    """
+
+
+class InfeasibleScheduleError(ReproError):
+    """A schedule violates feasibility.
+
+    Raised when some object cannot physically reach a transaction's node by
+    that transaction's commit time (an itinerary leg shorter than the
+    shortest-path distance), or when a committed transaction is missing one
+    of its objects during simulation.
+    """
+
+
+class TopologyError(ReproError):
+    """A scheduler was applied to a network lacking required topology metadata."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler failed to produce a schedule (internal invariant broken)."""

@@ -1,0 +1,5 @@
+"""The experiment suite: one module per theorem/figure (see DESIGN.md §3)."""
+
+from .registry import EXPERIMENTS, TITLES, experiment_ids, run_experiment
+
+__all__ = ["EXPERIMENTS", "TITLES", "experiment_ids", "run_experiment"]

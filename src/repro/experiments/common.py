@@ -1,0 +1,81 @@
+"""Shared helpers for the experiment suite.
+
+Each experiment module exposes ``run(seed=None, quick=False) -> Table``.
+``quick`` shrinks sweeps to bench-friendly sizes; the default sizes are
+what EXPERIMENTS.md records.  All randomness is derived with
+:func:`repro.workloads.seeds.spawn` keyed by experiment id, configuration,
+and trial index, so tables are reproducible cell-by-cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import Evaluation, evaluate
+from ..analysis.stats import summarize
+from ..bounds.lower import makespan_lower_bound, object_report
+from ..core.instance import Instance
+from ..core.retime import compact_schedule
+from ..core.schedule import Schedule
+from ..core.scheduler import Scheduler
+from ..workloads.seeds import spawn
+
+__all__ = ["trial_ratios", "mean_evaluation", "Compacted"]
+
+
+class Compacted(Scheduler):
+    """Wrap any scheduler with the earliest-feasible retiming pass."""
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.name = f"{inner.name}+compact"
+
+    def schedule(self, instance: Instance, rng=None) -> Schedule:
+        return compact_schedule(self.inner.schedule(instance, rng))
+
+
+def trial_ratios(
+    exp_id: str,
+    seed: int | None,
+    config_key: tuple,
+    trials: int,
+    make_instance: Callable[[np.random.Generator], Instance],
+    scheduler: Scheduler,
+) -> dict[str, float]:
+    """Run ``trials`` independent instances; aggregate ratio and makespan.
+
+    Returns mean makespan, mean lower bound, mean ratio and its 95% CI
+    half-width -- the standard cell contents across experiment tables.
+    """
+    ratios: list[float] = []
+    makespans: list[float] = []
+    lbs: list[float] = []
+    comms: list[float] = []
+    for trial in range(trials):
+        rng = spawn(seed, exp_id, *config_key, trial)
+        inst = make_instance(rng)
+        ev = evaluate(scheduler, inst, rng)
+        ratios.append(ev.ratio)
+        makespans.append(ev.makespan)
+        lbs.append(ev.lower_bound)
+        comms.append(ev.communication_cost)
+    r = summarize(ratios)
+    return {
+        "makespan": summarize(makespans).mean,
+        "lower_bound": summarize(lbs).mean,
+        "ratio": r.mean,
+        "ratio_ci95": r.ci95_half_width,
+        "comm_cost": summarize(comms).mean,
+    }
+
+
+def mean_evaluation(
+    schedulers: Sequence[Scheduler],
+    instance: Instance,
+    rng: np.random.Generator,
+) -> list[Evaluation]:
+    """Evaluate several schedulers on one instance, sharing its lower bound."""
+    lb = makespan_lower_bound(instance, object_report(instance))
+    return [evaluate(s, instance, rng, lower_bound=lb) for s in schedulers]

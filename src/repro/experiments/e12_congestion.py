@@ -1,0 +1,87 @@
+"""E12 (extension, §9 open question 2) -- link congestion.
+
+For each topology, measure how much the paper's schedules rely on
+unbounded link capacity: the worst per-link concurrency, the capacity-1
+makespan lower bound (max over edges of exclusive traffic time), and the
+trivial capacity-1 upper bound (dilation by the peak concurrency).  Where
+``congestion_gap <= 1`` the schedule is already effectively
+capacity-feasible; gaps above 1 quantify how much the open question
+actually bites on that topology.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import summarize
+from ..analysis.tables import Table
+from ..core.dispatch import scheduler_for
+from ..network.topologies import clique, cluster, grid, hypercube, line, star
+from ..sim.capacity import capacity_execute
+from ..sim.congestion import congestion_report, serialized_edge_makespan
+from ..sim.reroute import reroute_for_congestion
+from ..workloads.generators import random_k_subsets
+from ..workloads.seeds import spawn
+
+EXP_ID = "e12"
+TITLE = "E12 (extension): link congestion under the paper's schedules"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    trials = 2 if quick else 5
+    networks = (
+        [clique(24), line(48), grid(6)]
+        if quick
+        else [clique(48), hypercube(5), line(128), grid(10),
+              cluster(6, 8, gamma=8), star(6, 15)]
+    )
+    table = Table(
+        TITLE,
+        columns=[
+            "topology",
+            "n",
+            "makespan",
+            "max_link_concurrency",
+            "rerouted_peak",
+            "cap1_lower_bound",
+            "cap1_actual",
+            "cap1_upper_bound",
+            "congestion_gap",
+        ],
+    )
+    for net in networks:
+        w = max(4, net.n // 4)
+        mks, peaks, repeaks, lbs, acts, ubs, gaps = [], [], [], [], [], [], []
+        for trial in range(trials):
+            rng = spawn(seed, EXP_ID, net.topology.name, trial)
+            inst = random_k_subsets(net, w, 2, rng)
+            sched = scheduler_for(inst).schedule(inst, rng)
+            sched.validate()
+            rep = congestion_report(sched)
+            mks.append(rep.makespan)
+            peaks.append(rep.max_peak)
+            repeaks.append(reroute_for_congestion(sched).max_peak)
+            lbs.append(rep.capacity1_lower_bound)
+            acts.append(capacity_execute(sched, capacity=1).makespan)
+            ubs.append(serialized_edge_makespan(sched))
+            gaps.append(rep.congestion_gap)
+        table.add(
+            topology=net.topology.name,
+            n=net.n,
+            makespan=summarize(mks).mean,
+            max_link_concurrency=summarize(peaks).mean,
+            rerouted_peak=summarize(repeaks).mean,
+            cap1_lower_bound=summarize(lbs).mean,
+            cap1_actual=summarize(acts).mean,
+            cap1_upper_bound=summarize(ubs).mean,
+            congestion_gap=summarize(gaps).mean,
+        )
+    table.add_note(
+        "congestion_gap = capacity-1 lower bound / uncapacitated makespan; "
+        "values <= 1 mean capacity-1 links would not lengthen the "
+        "schedule's critical path.  rerouted_peak applies slack-aware "
+        "path diversity (repro.sim.reroute) without touching commit times; "
+        "cap1_actual is a constructive capacity-1 execution "
+        "(repro.sim.capacity) preserving the commit order -- it lands "
+        "between the analytical lower and upper bounds, and can beat the "
+        "uncapacitated *scheduled* makespan because it also compacts."
+    )
+    return table

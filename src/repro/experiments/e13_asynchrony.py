@@ -1,0 +1,70 @@
+"""E13 (extension, §9 conclusion) -- the synchronicity factor.
+
+Replay the paper's schedules in networks whose hop delays are stretched
+by factors drawn uniformly from ``[1, phi]``, preserving the schedules'
+conflict order.  The conclusion's claim -- bounds degrade by at most the
+synchronicity factor -- appears as the inflation column staying at or
+below ``phi`` across the sweep (typically near ``(1 + phi)/2``, the mean
+stretch).
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import summarize
+from ..analysis.tables import Table
+from ..core.dispatch import scheduler_for
+from ..network.topologies import clique, grid, line
+from ..sim.asynchrony import asynchronous_execute
+from ..workloads.generators import random_k_subsets
+from ..workloads.seeds import spawn
+
+EXP_ID = "e13"
+TITLE = "E13 (extension): makespan inflation under asynchrony factor phi"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    trials = 2 if quick else 5
+    phis = [1.0, 2.0] if quick else [1.0, 1.5, 2.0, 4.0, 8.0]
+    networks = [clique(32), line(64), grid(8)]
+    table = Table(
+        TITLE,
+        columns=[
+            "topology",
+            "phi",
+            "asap_makespan",
+            "async_makespan",
+            "inflation",
+        ],
+    )
+    for net in networks:
+        w = max(4, net.n // 4)
+        for phi in phis:
+            sync_mks, async_mks, infl = [], [], []
+            for trial in range(trials):
+                rng = spawn(seed, EXP_ID, net.topology.name, phi, trial)
+                inst = random_k_subsets(net, w, 2, rng)
+                sched = scheduler_for(inst).schedule(inst, rng)
+                sched.validate()
+                # the phi = 1 replay is the as-soon-as-possible baseline:
+                # it strips the schedule's slack, isolating the jitter
+                # effect from slack compression
+                base = asynchronous_execute(sched, 1.0, rng).makespan
+                res = asynchronous_execute(sched, phi, rng)
+                sync_mks.append(base)
+                async_mks.append(res.makespan)
+                infl.append(res.makespan / base)
+            table.add(
+                topology=net.topology.name,
+                phi=phi,
+                asap_makespan=summarize(sync_mks).mean,
+                async_makespan=summarize(async_mks).mean,
+                inflation=summarize(infl).mean,
+            )
+    table.add_note(
+        "inflation = asynchronous / ASAP-replay makespan, bounded by "
+        "ceil(phi): each commit rounds up to an integer step, so "
+        "unit-hop chains (clique) inflate to ceil(phi) while multi-hop "
+        "topologies average the jitter toward (1 + phi)/2 -- the "
+        "conclusion's synchronicity-factor degradation."
+    )
+    return table

@@ -1,0 +1,107 @@
+"""E3 -- Theorem 2 + Fig 1: the line scheduler is constant-factor optimal.
+
+Sweep the line length and the object span (which controls the algorithm's
+``ell``); Theorem 2 predicts makespan <= ``4 * ell`` regardless of instance
+shape, i.e. the measured ratio column never exceeds 4.  The first row
+regenerates Fig 1's configuration (n = 32, ell = 8) exactly.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import Table
+from ..core.line import LineScheduler
+from ..network.topologies import line
+from ..workloads.generators import line_span_instance, random_k_subsets
+from ..workloads.seeds import spawn
+from .common import trial_ratios
+
+EXP_ID = "e3"
+TITLE = "E3 (Theorem 2, Fig 1): line scheduler, constant-factor ratios"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    ns = [32, 128] if quick else [32, 128, 512, 1024]
+    spans = [4, 8, 32] if quick else [4, 8, 32, 128]
+    trials = 2 if quick else 5
+    table = Table(
+        TITLE,
+        columns=[
+            "workload",
+            "n",
+            "span",
+            "ell",
+            "makespan",
+            "four_ell",
+            "lower_bound",
+            "ratio",
+        ],
+    )
+    sched = LineScheduler()
+
+    # Fig 1 regeneration: n = 32 with ell = 8
+    rng = spawn(seed, EXP_ID, "fig1")
+    fig1 = line_span_instance(line(32), w=8, k=2, max_span=7, rng=rng)
+    ell = LineScheduler.ell(fig1)
+    s = sched.schedule(fig1)
+    s.validate()
+    table.add(
+        workload="fig1",
+        n=32,
+        span=7,
+        ell=ell,
+        makespan=s.makespan,
+        four_ell=4 * ell,
+        lower_bound=ell,
+        ratio=s.makespan / ell,
+    )
+
+    for n in ns:
+        net = line(n)
+        for span in spans:
+            if span >= n:
+                continue
+            w = max(4, n // 8)
+            cell = trial_ratios(
+                EXP_ID,
+                seed,
+                ("span", n, span),
+                trials,
+                lambda rng: line_span_instance(net, w, 2, span, rng),
+                sched,
+            )
+            table.add(
+                workload="span-limited",
+                n=n,
+                span=span,
+                ell="-",
+                makespan=cell["makespan"],
+                four_ell="-",
+                lower_bound=cell["lower_bound"],
+                ratio=cell["ratio"],
+            )
+        # unrestricted arbitrary workload
+        cell = trial_ratios(
+            EXP_ID,
+            seed,
+            ("uniform", n),
+            trials,
+            lambda rng: random_k_subsets(net, max(4, n // 8), 2, rng),
+            sched,
+        )
+        table.add(
+            workload="uniform",
+            n=n,
+            span=n - 1,
+            ell="-",
+            makespan=cell["makespan"],
+            four_ell="-",
+            lower_bound=cell["lower_bound"],
+            ratio=cell["ratio"],
+        )
+    table.add_note(
+        "Theorem 2: makespan <= 4*ell with ell <= OPT, so ratios are O(1). "
+        "Against the exact-walk bound the factor is at most 4; for objects "
+        "with >13 requesters the certified bound falls back to the MST, "
+        "which may undercut ell by up to 1.5x, so up to 6 in the extreme."
+    )
+    return table

@@ -1,0 +1,110 @@
+"""E4 -- Theorem 3 + Fig 2: grid scheduling of random k-subsets.
+
+Sweep the grid side and ``k`` with uniformly random k-subsets (the regime
+Theorem 3 covers); report ratios and their normalization by
+``k * ln(m)``.  A second block regenerates Fig 2's configuration -- a
+16x16 grid with 4x4 subgrids -- by forcing the subgrid side and reporting
+one object's boustrophedon path length through the subgrid order.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.tables import Table
+from ..core.grid import GridScheduler
+from ..network.topologies import grid
+from ..sim.engine import execute
+from ..workloads.generators import random_k_subsets
+from ..workloads.seeds import spawn
+from .common import trial_ratios
+
+EXP_ID = "e4"
+TITLE = "E4 (Theorem 3, Fig 2): grid scheduler on random k-subsets"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    sides = [8, 12] if quick else [8, 12, 16, 24]
+    ks = [1, 2] if quick else [1, 2, 4]
+    trials = 2 if quick else 5
+    table = Table(
+        TITLE,
+        columns=[
+            "block",
+            "side",
+            "n_nodes",
+            "k",
+            "w",
+            "subgrid_side",
+            "makespan",
+            "lower_bound",
+            "ratio",
+            "ratio_norm",
+        ],
+    )
+    for side in sides:
+        net = grid(side)
+        w = max(4, side)
+        for k in ks:
+            if k > w:
+                continue
+            sched = GridScheduler()
+            # peek at the subgrid side the xi rule picks for this shape
+            probe = random_k_subsets(net, w, k, spawn(seed, EXP_ID, "probe", side, k))
+            sg = sched.subgrid_side(probe)
+            cell = trial_ratios(
+                EXP_ID,
+                seed,
+                ("sweep", side, k),
+                trials,
+                lambda rng: random_k_subsets(net, w, k, rng),
+                sched,
+            )
+            m = max(net.n, w)
+            table.add(
+                block="sweep",
+                side=side,
+                n_nodes=net.n,
+                k=k,
+                w=w,
+                subgrid_side=sg,
+                makespan=cell["makespan"],
+                lower_bound=cell["lower_bound"],
+                ratio=cell["ratio"],
+                ratio_norm=cell["ratio"] / (k * math.log(m)),
+            )
+
+    # Fig 2 regeneration: 16x16 grid with forced 4x4 subgrids
+    rng = spawn(seed, EXP_ID, "fig2")
+    net = grid(16)
+    inst = random_k_subsets(net, w=16, k=2, rng=rng)
+    sched = GridScheduler(side=4)
+    s = sched.schedule(inst)
+    s.validate()
+    trace = execute(s, record_commits=False)
+    hot = max(inst.objects, key=inst.load)
+    table.add(
+        block="fig2",
+        side=16,
+        n_nodes=256,
+        k=2,
+        w=16,
+        subgrid_side=4,
+        makespan=s.makespan,
+        lower_bound=trace.object_distance.get(hot, 0),
+        ratio=float("nan"),
+        ratio_norm=float("nan"),
+    )
+    table.add_note(
+        "fig2 row: lower_bound column holds the hottest object's realized "
+        "boustrophedon path length through the 4x4 subgrid order (the "
+        "path Fig 2 depicts)."
+    )
+    table.add_note(
+        "Theorem 3 predicts ratio = O(k log m) w.h.p.: ratio_norm stays "
+        "bounded across the sweep.  With the paper's xi constant (27) the "
+        "subgrid side usually covers the whole grid at these scales, "
+        "matching the xi > n^2/9 branch of the proof; E10 ablates the "
+        "side explicitly."
+    )
+    return table

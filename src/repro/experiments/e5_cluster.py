@@ -1,0 +1,109 @@
+"""E5 -- Theorem 4 + Algorithm 1 + Fig 3: cluster graph scheduling.
+
+Sweep cluster count ``alpha``, cluster size ``beta`` (with ``gamma = beta``)
+and the cross-cluster access fraction, which drives ``sigma`` (how many
+clusters an object must visit).  For each configuration both approaches
+run: Approach 1 (plain greedy, ``O(k beta)`` factor) and Approach 2
+(Algorithm 1's randomized phases/rounds).  Theorem 4's envelope is their
+minimum; the table shows who wins where (Approach 1 for small beta or
+sigma <= 1; Approach 2 as beta grows with spread objects).
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import summarize
+from ..analysis.metrics import evaluate
+from ..analysis.tables import Table
+from ..core.cluster import ClusterScheduler, object_cluster_spread
+from ..network.topologies import cluster
+from ..workloads.generators import partitioned_instance
+from ..workloads.seeds import spawn
+
+EXP_ID = "e5"
+TITLE = "E5 (Theorem 4, Alg 1, Fig 3): cluster approaches and their envelope"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    alphas = [5] if quick else [5, 10]
+    betas = [4, 8] if quick else [4, 8, 16, 32]
+    crosses = [0.0, 0.5] if quick else [0.0, 0.25, 0.5, 1.0]
+    trials = 2 if quick else 5
+    k = 2
+    table = Table(
+        TITLE,
+        columns=[
+            "alpha",
+            "beta",
+            "cross",
+            "sigma",
+            "mk_approach1",
+            "mk_approach2",
+            "mk_auto",
+            "winner",
+            "lower_bound",
+            "ratio_auto",
+        ],
+    )
+    for alpha in alphas:
+        for beta in betas:
+            net = cluster(alpha, beta, gamma=beta)
+            groups = net.topology.require("clusters")
+            for cross in crosses:
+                mk1, mk2, mka, lbs, ratios, sigmas = [], [], [], [], [], []
+                for trial in range(trials):
+                    rng = spawn(seed, EXP_ID, alpha, beta, cross, trial)
+                    inst = partitioned_instance(
+                        net,
+                        groups,
+                        objects_per_group=max(k, beta // 2),
+                        k=k,
+                        cross_fraction=cross,
+                        rng=rng,
+                    )
+                    sigmas.append(object_cluster_spread(inst))
+                    e1 = evaluate(ClusterScheduler(approach=1), inst, rng)
+                    # approach 2 and auto's internal approach 2 must see
+                    # identical random streams so auto is exactly their min
+                    rng_a2 = spawn(seed, EXP_ID, alpha, beta, cross, trial, "a2")
+                    rng_auto = spawn(seed, EXP_ID, alpha, beta, cross, trial, "a2")
+                    e2 = evaluate(
+                        ClusterScheduler(approach=2),
+                        inst,
+                        rng_a2,
+                        lower_bound=e1.lower_bound,
+                    )
+                    ea = evaluate(
+                        ClusterScheduler(approach="auto"),
+                        inst,
+                        rng_auto,
+                        lower_bound=e1.lower_bound,
+                    )
+                    mk1.append(e1.makespan)
+                    mk2.append(e2.makespan)
+                    mka.append(ea.makespan)
+                    lbs.append(ea.lower_bound)
+                    ratios.append(ea.ratio)
+                a1, a2 = summarize(mk1).mean, summarize(mk2).mean
+                table.add(
+                    alpha=alpha,
+                    beta=beta,
+                    cross=cross,
+                    sigma=summarize(sigmas).mean,
+                    mk_approach1=a1,
+                    mk_approach2=a2,
+                    mk_auto=summarize(mka).mean,
+                    winner="approach1" if a1 <= a2 else "approach2",
+                    lower_bound=summarize(lbs).mean,
+                    ratio_auto=summarize(ratios).mean,
+                )
+    table.add_note(
+        "Theorem 4: the auto scheduler realizes min(kB, 40^k ln^k m). "
+        "Approach 1 wins at these moderate sizes (sigma ~ 1 or small "
+        "beta); E10's crossover ablation pushes beta until Approach 2 "
+        "overtakes, as the envelope predicts."
+    )
+    table.add_note(
+        "Fig 3's shape (5 cliques, bridge weight gamma) is the alpha=5 "
+        "configuration family."
+    )
+    return table

@@ -1,0 +1,99 @@
+"""E7 -- Theorem 6 + Fig 5 + Corollary 3: the grid lower-bound instances.
+
+Generate the §8.1 instances ``I_s`` (``s`` blocks of ``s x sqrt(s)`` nodes,
+two objects per transaction: the block serializer ``a_i`` plus a random
+``b_j``), verify Lemma 10's walk bound (every object's tour is O(s^2)),
+then let every scheduler in the library try to beat the construction.
+
+Theorem 6 says any schedule needs ``Omega(s^{33/16}/log s)`` while tours
+stay ``O(s^2)``, so the *gap* column -- best achieved makespan divided by
+the maximum object tour -- must grow with ``s``.  That growth (not the
+absolute constant) is the reproduced claim.  E8 runs the same protocol on
+the §8.2 tree substrate via :func:`run_hard_instances`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..baselines.list_scheduler import (
+    RandomOrderScheduler,
+    SequentialScheduler,
+    TSPOrderScheduler,
+)
+from ..bounds.construction import HardInstance, hard_grid_instance
+from ..bounds.lower import makespan_lower_bound, object_report
+from ..core.greedy import GreedyScheduler
+from ..workloads.seeds import spawn
+from .common import mean_evaluation
+
+EXP_ID = "e7"
+TITLE = "E7 (Theorem 6, Fig 5): grid hard instances -- schedules cannot track TSP tours"
+
+
+def run_hard_instances(
+    exp_id: str,
+    title: str,
+    builder: Callable[[int, np.random.Generator], HardInstance],
+    seed: int | None,
+    quick: bool,
+) -> Table:
+    """Shared E7/E8 protocol over a §8 instance builder."""
+    ss = [4, 9] if quick else [4, 9, 16, 25]
+    table = Table(
+        title,
+        columns=[
+            "s",
+            "n_nodes",
+            "max_tour",
+            "tour_bound_5s2",
+            "certified_lb",
+            "best_makespan",
+            "best_scheduler",
+            "gap",
+            "gap_norm",
+        ],
+    )
+    schedulers = [
+        GreedyScheduler(),
+        GreedyScheduler(order="degree"),
+        SequentialScheduler(),
+        RandomOrderScheduler(),
+        TSPOrderScheduler(),
+    ]
+    for s in ss:
+        rng = spawn(seed, exp_id, s)
+        hard = builder(s, rng)
+        inst = hard.instance
+        report = object_report(inst)
+        max_tour = max(ob.tour_estimate for ob in report.values())
+        lb = makespan_lower_bound(inst, report)
+        evals = mean_evaluation(schedulers, inst, rng)
+        best = min(evals, key=lambda e: e.makespan)
+        gap = best.makespan / max(max_tour, 1)
+        table.add(
+            s=s,
+            n_nodes=inst.network.n,
+            max_tour=max_tour,
+            tour_bound_5s2=5 * s * s,
+            certified_lb=lb,
+            best_makespan=best.makespan,
+            best_scheduler=best.scheduler,
+            gap=gap,
+            gap_norm=gap / (s ** (1 / 16) / math.log2(max(s, 2))),
+        )
+    table.add_note(
+        "Lemma 10: max_tour stays below 5*s^2 (tour_bound_5s2 column). "
+        "Theorem 6: every schedule needs Omega(s^{33/16}/log s) time, i.e. "
+        "the best-achieved gap = makespan/max_tour must grow with s -- "
+        "no schedule on these instances tracks the TSP tour lengths."
+    )
+    return table
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    return run_hard_instances(EXP_ID, TITLE, hard_grid_instance, seed, quick)

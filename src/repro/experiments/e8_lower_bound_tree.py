@@ -1,0 +1,18 @@
+"""E8 -- §8.2 + Fig 6: the tree variant of the lower-bound instances.
+
+Identical protocol to E7 but on the comb-tree blocks of §8.2 (Fig 6); the
+paper's argument transfers verbatim, so the same gap growth must appear.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import Table
+from ..bounds.construction import hard_tree_instance
+from .e7_lower_bound_grid import run_hard_instances
+
+EXP_ID = "e8"
+TITLE = "E8 (§8.2, Fig 6): tree hard instances -- schedules cannot track TSP tours"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    return run_hard_instances(EXP_ID, TITLE, hard_tree_instance, seed, quick)

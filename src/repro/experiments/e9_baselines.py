@@ -1,0 +1,111 @@
+"""E9 -- the paper's framing vs naive policies: baseline comparison.
+
+Run the topology-matched paper scheduler against the global-serialization,
+random-priority, and TSP-priority list schedulers on every topology family
+with a common workload shape.  The paper's schedulers should dominate the
+serialization baseline everywhere (that is their point: §1.2 criticizes
+global-lock/serialization-lease distributed TMs for not scaling) and match
+or beat the priority heuristics.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import Table
+from ..baselines.list_scheduler import (
+    RandomOrderScheduler,
+    SequentialScheduler,
+    TSPOrderScheduler,
+)
+from ..bounds.lower import makespan_lower_bound, object_report
+from ..analysis.metrics import evaluate
+from ..core.dispatch import scheduler_for
+from ..network.topologies import (
+    butterfly,
+    clique,
+    cluster,
+    grid,
+    hypercube,
+    line,
+    star,
+)
+from ..workloads.generators import random_k_subsets
+from ..workloads.seeds import spawn
+from .common import Compacted
+
+EXP_ID = "e9"
+TITLE = "E9: paper schedulers vs serialization / priority baselines"
+
+
+def run(seed: int | None = None, quick: bool = False) -> Table:
+    k = 2
+    networks = (
+        [clique(32), line(64), grid(8), cluster(4, 6, 8), star(6, 7)]
+        if quick
+        else [
+            clique(64),
+            hypercube(6),
+            butterfly(4),
+            line(256),
+            grid(16),
+            cluster(8, 8, 8),
+            star(8, 15),
+        ]
+    )
+    trials = 2 if quick else 5
+    table = Table(
+        TITLE,
+        columns=[
+            "topology",
+            "n",
+            "scheduler",
+            "makespan",
+            "lower_bound",
+            "ratio",
+            "comm_cost",
+        ],
+    )
+    for net in networks:
+        w = max(4, net.n // 4)
+        agg: dict[str, list] = {}
+        lb_sum = 0.0
+        for trial in range(trials):
+            rng = spawn(seed, EXP_ID, net.topology.name, trial)
+            inst = random_k_subsets(net, w, k, rng)
+            lb = makespan_lower_bound(inst, object_report(inst))
+            lb_sum += lb
+            paper = scheduler_for(inst)
+            contenders = [
+                ("paper:" + paper.name, paper),
+                ("paper+compact", Compacted(scheduler_for(inst))),
+                ("sequential", SequentialScheduler()),
+                ("random-order", RandomOrderScheduler()),
+                ("tsp-order", TSPOrderScheduler()),
+            ]
+            for label, sched in contenders:
+                ev = evaluate(sched, inst, rng, lower_bound=lb)
+                agg.setdefault(label, []).append(
+                    (ev.makespan, ev.ratio, ev.communication_cost)
+                )
+        for label, cells in agg.items():
+            table.add(
+                topology=net.topology.name,
+                n=net.n,
+                scheduler=label,
+                makespan=sum(c[0] for c in cells) / len(cells),
+                lower_bound=lb_sum / trials,
+                ratio=sum(c[1] for c in cells) / len(cells),
+                comm_cost=sum(c[2] for c in cells) / len(cells),
+            )
+    table.add_note(
+        "The serialization baseline models global-lock/serialization-lease "
+        "distributed TMs ([2,9,24] in the paper); the paper's schedulers "
+        "should beat it consistently, and the TSP-priority baseline shows "
+        "communication-cost-first scheduling does not minimize time "
+        "(Busch et al. [3])."
+    )
+    table.add_note(
+        "paper+compact = the same schedule order retimed to earliest "
+        "feasible commits (repro.core.retime); it keeps every theorem "
+        "bound while removing the colouring's worst-case spacing slack."
+    )
+    return table

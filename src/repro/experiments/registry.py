@@ -1,0 +1,70 @@
+"""Experiment registry: id -> runnable experiment module."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..analysis.tables import Table
+from . import (
+    e1_clique,
+    e2_hypercube,
+    e3_line,
+    e4_grid,
+    e5_cluster,
+    e6_star,
+    e7_lower_bound_grid,
+    e8_lower_bound_tree,
+    e9_baselines,
+    e10_ablations,
+    e11_online,
+    e12_congestion,
+    e13_asynchrony,
+    e14_replication,
+    e15_controlflow,
+    e16_placement,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+_MODULES = [
+    e1_clique,
+    e2_hypercube,
+    e3_line,
+    e4_grid,
+    e5_cluster,
+    e6_star,
+    e7_lower_bound_grid,
+    e8_lower_bound_tree,
+    e9_baselines,
+    e10_ablations,
+    e11_online,
+    e12_congestion,
+    e13_asynchrony,
+    e14_replication,
+    e15_controlflow,
+    e16_placement,
+]
+
+EXPERIMENTS: Mapping[str, Callable[..., Table]] = {
+    mod.EXP_ID: mod.run for mod in _MODULES
+}
+
+TITLES: Mapping[str, str] = {mod.EXP_ID: mod.TITLE for mod in _MODULES}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment ids in presentation order."""
+    return [mod.EXP_ID for mod in _MODULES]
+
+
+def run_experiment(
+    exp_id: str, seed: int | None = None, quick: bool = False
+) -> Table:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {experiment_ids()}"
+        ) from None
+    return runner(seed=seed, quick=quick)

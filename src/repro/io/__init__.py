@@ -1,0 +1,46 @@
+"""Persistence: JSON round-trips for networks, instances, schedules,
+replicated instances, and online workloads."""
+
+from .extensions import (
+    load_online_workload,
+    load_rw_instance,
+    online_workload_from_dict,
+    online_workload_to_dict,
+    rw_instance_from_dict,
+    rw_instance_to_dict,
+    save_online_workload,
+    save_rw_instance,
+)
+from .serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    network_from_dict,
+    network_to_dict,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_schedule",
+    "load_schedule",
+    "rw_instance_to_dict",
+    "rw_instance_from_dict",
+    "save_rw_instance",
+    "load_rw_instance",
+    "online_workload_to_dict",
+    "online_workload_from_dict",
+    "save_online_workload",
+    "load_online_workload",
+]

@@ -1,0 +1,36 @@
+"""Network substrate: weighted graphs and specialized topology builders."""
+
+from .graph import Network, Topology
+from .topologies import (
+    butterfly,
+    clique,
+    cluster,
+    ddim_grid,
+    grid,
+    grid_coords,
+    grid_node,
+    hypercube,
+    line,
+    lower_bound_grid,
+    lower_bound_tree,
+    star,
+    torus,
+)
+
+__all__ = [
+    "Network",
+    "Topology",
+    "clique",
+    "line",
+    "grid",
+    "grid_node",
+    "grid_coords",
+    "cluster",
+    "hypercube",
+    "butterfly",
+    "star",
+    "torus",
+    "ddim_grid",
+    "lower_bound_grid",
+    "lower_bound_tree",
+]

@@ -1,0 +1,262 @@
+"""Weighted communication graph substrate.
+
+The paper models the system as a weighted graph ``G`` whose nodes host
+transactions, whose edges are communication links, and whose integer edge
+weights are communication delays (an object crossing an edge of weight ``w``
+needs ``w`` time steps).  :class:`Network` wraps that model with:
+
+* O(1) shortest-path distance lookups backed by a cached all-pairs matrix
+  computed once with :func:`scipy.sparse.csgraph.dijkstra` on a CSR adjacency
+  (per the HPC guides: build the heavy structure once, then do array reads in
+  hot loops instead of repeated graph traversals);
+* shortest-path reconstruction for object routing in the simulator;
+* a :class:`Topology` metadata tag so topology-specific schedulers
+  (grid/cluster/star/...) can recover structural parameters without
+  re-detecting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+from scipy.sparse import csr_array
+from scipy.sparse.csgraph import connected_components, dijkstra
+
+from ..errors import GraphError
+
+__all__ = ["Topology", "Network"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Structural metadata attached to a :class:`Network`.
+
+    ``name`` identifies the family (``"clique"``, ``"line"``, ``"grid"``,
+    ``"cluster"``, ``"hypercube"``, ``"butterfly"``, ``"star"``,
+    ``"lb-grid"``, ``"lb-tree"``, or ``"generic"``); ``params`` carries the
+    family-specific construction parameters (e.g. ``rows``/``cols`` for a
+    grid, ``clusters``/``bridges``/``gamma`` for a cluster graph).
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return ``params[key]`` or ``default``."""
+        return self.params.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Return ``params[key]`` or raise :class:`KeyError` with context."""
+        try:
+            return self.params[key]
+        except KeyError:
+            raise KeyError(
+                f"topology {self.name!r} is missing required parameter {key!r}"
+            ) from None
+
+
+GENERIC = Topology("generic")
+
+
+class Network:
+    """An undirected, connected, positively integer-weighted graph.
+
+    Nodes are the integers ``0 .. n-1``.  Construction validates weights and
+    connectivity; all-pairs shortest-path distances (and, lazily,
+    predecessors for path reconstruction) are computed on first use and
+    cached for the lifetime of the object.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v, weight)`` triples.  Duplicate edges must agree
+        on weight; self-loops are rejected.
+    topology:
+        Optional :class:`Topology` metadata (defaults to ``"generic"``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int, int]],
+        topology: Topology | None = None,
+    ) -> None:
+        if n <= 0:
+            raise GraphError(f"network must have at least one node, got n={n}")
+        self._n = int(n)
+        self.topology = topology if topology is not None else GENERIC
+
+        adj: dict[int, dict[int, int]] = {}
+        for u, v, w in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise GraphError(f"self-loop at node {u} is not allowed")
+            wi = int(w)
+            if wi != w or wi <= 0:
+                raise GraphError(
+                    f"edge ({u}, {v}) weight {w!r} must be a positive integer"
+                )
+            prev = adj.setdefault(u, {}).get(v)
+            if prev is not None and prev != wi:
+                raise GraphError(
+                    f"conflicting weights for edge ({u}, {v}): {prev} vs {wi}"
+                )
+            adj.setdefault(u, {})[v] = wi
+            adj.setdefault(v, {})[u] = wi
+        self._adj = adj
+
+        rows, cols, data = [], [], []
+        for u, nbrs in adj.items():
+            for v, w in nbrs.items():
+                rows.append(u)
+                cols.append(v)
+                data.append(w)
+        self._csr = csr_array(
+            (np.asarray(data, dtype=np.int64), (rows, cols)), shape=(n, n)
+        )
+        if n > 1:
+            ncomp, _ = connected_components(self._csr, directed=False)
+            if ncomp != 1:
+                raise GraphError(
+                    f"network must be connected; found {ncomp} components"
+                )
+
+        self._dist: np.ndarray | None = None
+        self._pred: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # basic structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._csr.nnz // 2
+
+    def nodes(self) -> range:
+        """All node identifiers, ``range(0, n)``."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Yield each undirected edge once as ``(u, v, weight)`` with u < v."""
+        for u in sorted(self._adj):
+            for v, w in sorted(self._adj[u].items()):
+                if u < v:
+                    yield u, v, w
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        """Nodes adjacent to ``u``, sorted."""
+        return tuple(sorted(self._adj.get(u, ())))
+
+    def degree(self, u: int) -> int:
+        """Number of edges incident to ``u``."""
+        return len(self._adj.get(u, ()))
+
+    def edge_weight(self, u: int, v: int) -> int:
+        """Weight of edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"no edge between {u} and {v}") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``(u, v)`` is an edge."""
+        return v in self._adj.get(u, ())
+
+    # ------------------------------------------------------------------ #
+    # shortest paths
+    # ------------------------------------------------------------------ #
+
+    def _ensure_dist(self) -> np.ndarray:
+        if self._dist is None:
+            if self._n == 1:
+                self._dist = np.zeros((1, 1), dtype=np.int64)
+            else:
+                d = dijkstra(self._csr, directed=False)
+                self._dist = d.astype(np.int64)
+        return self._dist
+
+    def _ensure_pred(self) -> np.ndarray:
+        if self._pred is None:
+            if self._n == 1:
+                self._pred = np.full((1, 1), -9999, dtype=np.int32)
+            else:
+                d, pred = dijkstra(
+                    self._csr, directed=False, return_predecessors=True
+                )
+                self._dist = d.astype(np.int64)
+                self._pred = pred
+        return self._pred
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest path distances as an ``(n, n)`` int64 array.
+
+        The returned array is the internal cache; treat it as read-only.
+        """
+        return self._ensure_dist()
+
+    def dist(self, u: int, v: int) -> int:
+        """Shortest-path distance between ``u`` and ``v``."""
+        return int(self._ensure_dist()[u, v])
+
+    def shortest_path(self, u: int, v: int) -> list[int]:
+        """A shortest path from ``u`` to ``v`` as a list of nodes (inclusive)."""
+        if u == v:
+            return [u]
+        pred = self._ensure_pred()
+        path = [v]
+        cur = v
+        while cur != u:
+            cur = int(pred[u, cur])
+            if cur < 0:  # pragma: no cover - connectivity validated at init
+                raise GraphError(f"no path between {u} and {v}")
+            path.append(cur)
+        path.reverse()
+        return path
+
+    def diameter(self) -> int:
+        """Maximum shortest-path distance between any pair of nodes."""
+        return int(self._ensure_dist().max())
+
+    def eccentricity(self, u: int) -> int:
+        """Maximum distance from ``u`` to any node."""
+        return int(self._ensure_dist()[u].max())
+
+    def subset_diameter(self, nodes: Sequence[int]) -> int:
+        """Maximum pairwise distance among ``nodes`` (0 for fewer than 2)."""
+        idx = np.fromiter(nodes, dtype=np.intp)
+        if idx.size < 2:
+            return 0
+        sub = self._ensure_dist()[np.ix_(idx, idx)]
+        return int(sub.max())
+
+    # ------------------------------------------------------------------ #
+    # interop
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.Graph` with ``weight`` attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes())
+        g.add_weighted_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(n={self._n}, edges={self.num_edges}, "
+            f"topology={self.topology.name!r})"
+        )

@@ -1,0 +1,89 @@
+"""Structural predicates and measurements over networks.
+
+These are used by tests (to assert the builders produce the intended
+structure) and by :mod:`repro.core.dispatch` (to sanity-check that a
+scheduler matches the network it is given).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .graph import Network
+
+__all__ = [
+    "is_clique",
+    "is_line",
+    "is_grid",
+    "is_tree",
+    "has_unit_weights",
+    "max_degree",
+    "average_degree",
+]
+
+
+def has_unit_weights(net: Network) -> bool:
+    """True iff every edge has weight 1."""
+    return all(w == 1 for _, _, w in net.edges())
+
+
+def max_degree(net: Network) -> int:
+    """Maximum node degree."""
+    return max(net.degree(u) for u in net.nodes())
+
+
+def average_degree(net: Network) -> float:
+    """Average node degree (``2 * |E| / n``)."""
+    return 2.0 * net.num_edges / net.n
+
+
+def is_clique(net: Network) -> bool:
+    """True iff the network is a complete graph with unit weights."""
+    n = net.n
+    return net.num_edges == n * (n - 1) // 2 and has_unit_weights(net)
+
+
+def is_line(net: Network) -> bool:
+    """True iff the network is a path ``0-1-...-(n-1)`` with unit weights."""
+    if net.num_edges != net.n - 1:
+        return False
+    return all(net.has_edge(i, i + 1) for i in range(net.n - 1)) and (
+        has_unit_weights(net)
+    )
+
+
+def is_grid(net: Network, rows: int, cols: int) -> bool:
+    """True iff the network is the ``rows x cols`` unit-weight mesh."""
+    if net.n != rows * cols:
+        return False
+    expected = rows * (cols - 1) + cols * (rows - 1)
+    if net.num_edges != expected or not has_unit_weights(net):
+        return False
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols and not net.has_edge(v, v + 1):
+                return False
+            if r + 1 < rows and not net.has_edge(v, v + cols):
+                return False
+    return True
+
+
+def is_tree(net: Network) -> bool:
+    """True iff the network is acyclic (connectivity is guaranteed)."""
+    return net.num_edges == net.n - 1
+
+
+def expected_hypercube_diameter(dim: int) -> int:
+    """Diameter of the ``dim``-hypercube (``dim`` itself)."""
+    return dim
+
+
+def expected_grid_diameter(rows: int, cols: int) -> int:
+    """Diameter of the unit-weight mesh (``rows + cols - 2``)."""
+    return rows + cols - 2
+
+
+def log2_ceil(x: int) -> int:
+    """Smallest ``k`` with ``2**k >= x`` (``x >= 1``)."""
+    return max(0, math.ceil(math.log2(x))) if x > 1 else 0

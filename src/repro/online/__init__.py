@@ -1,0 +1,26 @@
+"""Online scheduling extension (§9, open question 1).
+
+The batch model extended with release times: a priority-driven contention
+manager (:func:`run_online`) and epoch batching of the paper's offline
+schedulers (:func:`run_epoch_batched`).
+"""
+
+from .arrivals import OnlineWorkload, TimedTransaction, poisson_workload
+from .epoch import run_epoch_batched
+from .runtime import (
+    OnlineResult,
+    random_priority,
+    run_online,
+    timestamp_priority,
+)
+
+__all__ = [
+    "TimedTransaction",
+    "OnlineWorkload",
+    "poisson_workload",
+    "OnlineResult",
+    "run_online",
+    "run_epoch_batched",
+    "timestamp_priority",
+    "random_priority",
+]

@@ -1,0 +1,20 @@
+"""Replication/multi-versioning extension (§1.2's restricted models).
+
+Read/write transactions over versioned objects: masters move between
+writers as in the base model, readers receive shipped replicas of the
+version preceding their commit, and read-read sharing is conflict-free.
+"""
+
+from .model import ReplicatedInstance, RWTransaction
+from .schedule import ReplicatedSchedule
+from .scheduler import ReplicatedGreedyScheduler, build_rw_dependency
+from .workloads import random_rw_instance
+
+__all__ = [
+    "RWTransaction",
+    "ReplicatedInstance",
+    "ReplicatedSchedule",
+    "ReplicatedGreedyScheduler",
+    "build_rw_dependency",
+    "random_rw_instance",
+]

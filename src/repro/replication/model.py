@@ -1,0 +1,167 @@
+"""Read/write transactions over versioned objects (§1.2's restricted models).
+
+The paper notes its data-flow results carry over to restricted replicated
+and multi-versioned TMs ([20, 24, 29] in its related work).  This
+extension models the *versioned-read* variant:
+
+* every object still has a single **master** copy that moves between its
+  *writers* exactly as in the base model;
+* a *reader* receives a read-only replica of the version installed by the
+  last write committed before its own commit (or the initial version from
+  the object's home), shipped from that writer's node;
+* readers impose no constraints on one another or on later writers — the
+  snapshot they read stays consistent, as in multi-versioning TMs.
+
+Conflicts therefore only arise between two transactions sharing an object
+when **at least one writes it**, which thins the dependency graph and is
+where replication wins on read-heavy workloads (experiment E14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping
+
+from ..core.instance import Instance
+from ..core.transaction import Transaction
+from ..errors import InstanceError
+from ..network.graph import Network
+
+__all__ = ["RWTransaction", "ReplicatedInstance"]
+
+
+@dataclass(frozen=True, order=True)
+class RWTransaction:
+    """A transaction with separate read and write sets.
+
+    ``writes`` may overlap ``reads`` (read-modify-write); the effective
+    write set is authoritative for conflicts.  The union must be
+    non-empty.
+    """
+
+    tid: int
+    node: int
+    reads: FrozenSet[int] = field(compare=False)
+    writes: FrozenSet[int] = field(compare=False)
+
+    def __init__(
+        self, tid: int, node: int, reads: Iterable[int], writes: Iterable[int]
+    ) -> None:
+        object.__setattr__(self, "tid", int(tid))
+        object.__setattr__(self, "node", int(node))
+        r = frozenset(int(o) for o in reads)
+        w = frozenset(int(o) for o in writes)
+        if not (r | w):
+            raise InstanceError(f"transaction {tid} accesses no objects")
+        object.__setattr__(self, "reads", r - w)
+        object.__setattr__(self, "writes", w)
+
+    @property
+    def objects(self) -> FrozenSet[int]:
+        """All objects touched (reads and writes)."""
+        return self.reads | self.writes
+
+    @property
+    def k(self) -> int:
+        return len(self.objects)
+
+    def writes_obj(self, obj: int) -> bool:
+        return obj in self.writes
+
+
+class ReplicatedInstance:
+    """A batch of read/write transactions over a network.
+
+    Mirrors :class:`~repro.core.instance.Instance`'s validation (one
+    transaction per node, homes for every object) and adds per-object
+    writer/reader indexes.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        transactions: Iterable[RWTransaction],
+        object_homes: Mapping[int, int],
+    ) -> None:
+        self.network = network
+        self.transactions: tuple[RWTransaction, ...] = tuple(transactions)
+        self.object_homes: Dict[int, int] = {
+            int(o): int(v) for o, v in object_homes.items()
+        }
+        if not self.transactions:
+            raise InstanceError("instance must contain at least one transaction")
+
+        seen_nodes: set[int] = set()
+        seen_tids: set[int] = set()
+        writers: Dict[int, list[RWTransaction]] = {}
+        readers: Dict[int, list[RWTransaction]] = {}
+        for t in self.transactions:
+            if t.tid in seen_tids:
+                raise InstanceError(f"duplicate transaction id {t.tid}")
+            seen_tids.add(t.tid)
+            if not (0 <= t.node < network.n):
+                raise InstanceError(
+                    f"transaction {t.tid} placed outside the graph"
+                )
+            if t.node in seen_nodes:
+                raise InstanceError(f"node {t.node} hosts two transactions")
+            seen_nodes.add(t.node)
+            for o in t.writes:
+                writers.setdefault(o, []).append(t)
+            for o in t.reads:
+                readers.setdefault(o, []).append(t)
+        for o in set(writers) | set(readers):
+            if o not in self.object_homes:
+                raise InstanceError(f"object {o} has no home node")
+        for o, v in self.object_homes.items():
+            if not (0 <= v < network.n):
+                raise InstanceError(f"object {o} home {v} outside graph")
+
+        self._writers = {o: tuple(ts) for o, ts in writers.items()}
+        self._readers = {o: tuple(ts) for o, ts in readers.items()}
+        self._by_tid = {t.tid: t for t in self.transactions}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def objects(self) -> tuple[int, ...]:
+        return tuple(sorted(self.object_homes))
+
+    def writers(self, obj: int) -> tuple[RWTransaction, ...]:
+        """Transactions writing ``obj``."""
+        return self._writers.get(obj, ())
+
+    def readers(self, obj: int) -> tuple[RWTransaction, ...]:
+        """Transactions reading (not writing) ``obj``."""
+        return self._readers.get(obj, ())
+
+    def transaction(self, tid: int) -> RWTransaction:
+        return self._by_tid[tid]
+
+    def home(self, obj: int) -> int:
+        return self.object_homes[obj]
+
+    def as_single_copy(self) -> Instance:
+        """The same workload in the base model (every access a conflict).
+
+        Used by E14 to quantify what versioned reads buy: schedule both
+        and compare makespans.
+        """
+        txns = [
+            Transaction(t.tid, t.node, t.objects) for t in self.transactions
+        ]
+        homes = {
+            o: self.object_homes[o]
+            for o in set().union(*(t.objects for t in self.transactions))
+        }
+        return Instance(self.network, txns, homes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedInstance(n={self.network.n}, m={self.m}, "
+            f"w={len(self.object_homes)})"
+        )

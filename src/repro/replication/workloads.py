@@ -1,0 +1,43 @@
+"""Read/write workload generators for the replication extension."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InstanceError
+from ..network.graph import Network
+from .model import ReplicatedInstance, RWTransaction
+
+__all__ = ["random_rw_instance"]
+
+
+def random_rw_instance(
+    net: Network,
+    w: int,
+    k: int,
+    write_fraction: float,
+    rng: np.random.Generator,
+) -> ReplicatedInstance:
+    """One transaction per node, ``k`` uniform objects, each independently
+    a write with probability ``write_fraction`` (at least one access per
+    transaction is guaranteed; homes land on random accessors)."""
+    if not 1 <= k <= w:
+        raise InstanceError(f"need 1 <= k <= w, got k={k}, w={w}")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise InstanceError(
+            f"write_fraction must be in [0,1], got {write_fraction}"
+        )
+    txns = []
+    accessors: dict[int, list[int]] = {o: [] for o in range(w)}
+    for node in net.nodes():
+        objs = [int(o) for o in rng.choice(w, size=k, replace=False)]
+        writes = {o for o in objs if rng.random() < write_fraction}
+        reads = set(objs) - writes
+        txns.append(RWTransaction(node, node, reads, writes))
+        for o in objs:
+            accessors[o].append(node)
+    homes = {}
+    for o in range(w):
+        nodes = accessors[o]
+        homes[o] = int(nodes[rng.integers(0, len(nodes))]) if nodes else 0
+    return ReplicatedInstance(net, txns, homes)

@@ -1,0 +1,36 @@
+"""Synchronous data-flow TM simulator: routing, execution, traces.
+
+Also hosts the §9 extension analyses: link congestion
+(:mod:`repro.sim.congestion`) and asynchronous replay
+(:mod:`repro.sim.asynchrony`).
+"""
+
+from .asynchrony import AsyncResult, asynchronous_execute
+from .congestion import (
+    CongestionReport,
+    congestion_report,
+    serialized_edge_makespan,
+)
+from .capacity import CapacityResult, capacity_execute
+from .engine import execute
+from .reroute import ReroutePlan, reroute_for_congestion
+from .routing import Hop, Leg, plan_leg
+from .trace import CommitEvent, Trace
+
+__all__ = [
+    "execute",
+    "plan_leg",
+    "Hop",
+    "Leg",
+    "Trace",
+    "CommitEvent",
+    "CongestionReport",
+    "congestion_report",
+    "serialized_edge_makespan",
+    "AsyncResult",
+    "asynchronous_execute",
+    "ReroutePlan",
+    "reroute_for_congestion",
+    "CapacityResult",
+    "capacity_execute",
+]

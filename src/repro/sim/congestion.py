@@ -1,0 +1,106 @@
+"""Link congestion analysis (§9, open question 2).
+
+The paper's model lets any number of objects cross an edge concurrently;
+its second open question asks what bounded link capacity would change.
+This module measures how much a schedule *relies* on unbounded capacity:
+
+* :func:`congestion_report` -- per-edge peak concurrency (how many objects
+  occupy an edge at once) and the *capacity-1 dilation lower bound*: with
+  unit capacity, an edge traversed ``c`` times at weight ``w`` needs
+  ``c * w`` exclusive time, so ``max_e traffic(e) * weight(e)`` lower
+  bounds any capacity-feasible makespan alongside the original bound.
+* :func:`serialized_edge_makespan` -- an upper bound achieved by the
+  trivial capacity-respecting execution: delay whole phases so every
+  object leg is exclusive (the makespan inflates by at most the peak
+  concurrency factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.schedule import Schedule
+from .routing import Hop, plan_leg
+
+__all__ = ["CongestionReport", "congestion_report", "serialized_edge_makespan"]
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """How a schedule uses link capacity."""
+
+    #: per-edge peak simultaneous occupancy
+    peak_concurrency: Dict[Tuple[int, int], int]
+    #: per-edge total exclusive time needed under capacity 1
+    exclusive_time: Dict[Tuple[int, int], int]
+    #: max over edges of exclusive time: capacity-1 makespan lower bound
+    capacity1_lower_bound: int
+    #: the schedule's makespan in the uncapacitated model
+    makespan: int
+
+    @property
+    def max_peak(self) -> int:
+        """Worst single-link concurrency (1 = already capacity-feasible)."""
+        return max(self.peak_concurrency.values(), default=0)
+
+    @property
+    def congestion_gap(self) -> float:
+        """``capacity1_lower_bound / makespan``: > 1 means capacity binds."""
+        return self.capacity1_lower_bound / max(self.makespan, 1)
+
+
+def _edge_key(hop: Hop) -> Tuple[int, int]:
+    return (min(hop.src, hop.dst), max(hop.src, hop.dst))
+
+
+def congestion_report(schedule: Schedule) -> CongestionReport:
+    """Measure the schedule's per-link concurrency and capacity-1 bound."""
+    inst = schedule.instance
+    net = inst.network
+    intervals: Dict[Tuple[int, int], list[tuple[int, int]]] = {}
+    for obj, visits in schedule.itineraries():
+        for a, b in zip(visits, visits[1:]):
+            if a.node == b.node:
+                continue
+            leg = plan_leg(net, obj, a.node, b.node, a.time, b.time)
+            for hop in leg.hops:
+                intervals.setdefault(_edge_key(hop), []).append(
+                    (hop.enter, hop.exit)
+                )
+
+    peak: Dict[Tuple[int, int], int] = {}
+    exclusive: Dict[Tuple[int, int], int] = {}
+    for edge, ivals in intervals.items():
+        events: list[tuple[int, int]] = []
+        total = 0
+        for enter, exit_ in ivals:
+            events.append((enter, 1))
+            events.append((exit_, -1))
+            total += exit_ - enter
+        events.sort()
+        cur = best = 0
+        for _, delta in events:
+            cur += delta
+            best = max(best, cur)
+        peak[edge] = best
+        exclusive[edge] = total
+
+    return CongestionReport(
+        peak_concurrency=peak,
+        exclusive_time=exclusive,
+        capacity1_lower_bound=max(exclusive.values(), default=0),
+        makespan=schedule.makespan,
+    )
+
+
+def serialized_edge_makespan(schedule: Schedule) -> int:
+    """Capacity-1-feasible makespan via whole-schedule dilation.
+
+    Stretching the time axis by the worst per-link concurrency ``c`` and
+    round-robining concurrent occupants gives a capacity-1 execution in
+    ``c * makespan`` steps; combined with the report's lower bound this
+    brackets the true capacity-1 optimum within the concurrency factor.
+    """
+    report = congestion_report(schedule)
+    return max(report.max_peak, 1) * schedule.makespan

@@ -1,0 +1,132 @@
+"""Synchronous data-flow TM execution engine (§2.1's step semantics).
+
+The engine *executes* a schedule rather than merely checking leg lengths:
+every object is routed hop-by-hop along shortest paths, transactions commit
+at their scheduled step only if all their objects are physically on-node,
+and commit-then-forward happens within one step exactly as the model
+allows.  This is an independent implementation of feasibility (path sums
+instead of the cached distance matrix), so ``Schedule.validate`` and
+:func:`execute` cross-check each other throughout the test suite.  The
+returned :class:`~repro.sim.trace.Trace` additionally reports the
+communication cost, per-edge traffic, peak in-flight objects, and object
+idle time -- the quantities the paper's related-work and future-work
+discussions care about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..core.schedule import Schedule
+from ..errors import InfeasibleScheduleError
+from .routing import Leg, plan_leg
+from .trace import CommitEvent, Trace
+
+__all__ = ["execute"]
+
+
+def execute(schedule: Schedule, record_commits: bool = True) -> Trace:
+    """Run ``schedule`` through the synchronous engine.
+
+    Raises :class:`InfeasibleScheduleError` if any object cannot make a
+    scheduled trip in time or any transaction commits without its objects
+    present.  Returns the execution trace.
+    """
+    inst = schedule.instance
+    net = inst.network
+
+    legs: List[Leg] = []
+    # presence[(obj, tid)] = (arrival, departure, node): the interval during
+    # which `obj` sits at the committing transaction's node for that visit.
+    presence: Dict[tuple[int, int], tuple[float, float, int]] = {}
+
+    for obj, visits in schedule.itineraries():
+        # time the object becomes present at each visit
+        arrivals: List[int] = [0]
+        for a, b in zip(visits, visits[1:]):
+            if a.node == b.node:
+                arrivals.append(arrivals[-1])
+                continue
+            leg = plan_leg(net, obj, a.node, b.node, a.time, b.time)
+            if leg.arrive > b.time:
+                raise InfeasibleScheduleError(
+                    f"object {obj} departs node {a.node} at t={a.time} but "
+                    f"reaches node {b.node} at t={leg.arrive} > commit "
+                    f"t={b.time}"
+                )
+            legs.append(leg)
+            arrivals.append(leg.arrive)
+        for i, v in enumerate(visits):
+            if v.tid < 0:
+                continue
+            # the object departs toward the next *distinct* node at that
+            # visit's scheduled time; until then it stays put
+            departure: float = math.inf
+            for nxt in visits[i + 1 :]:
+                if nxt.node != v.node:
+                    departure = v.time  # forwarded right after commit
+                    break
+                # consecutive same-node visits share the object in place
+            presence[(obj, v.tid)] = (arrivals[i], departure, v.node)
+
+    commits: List[CommitEvent] = []
+    for t in sorted(inst.transactions, key=lambda t: schedule.time_of(t.tid)):
+        ct = schedule.time_of(t.tid)
+        for obj in sorted(t.objects):
+            entry = presence.get((obj, t.tid))
+            if entry is None:  # pragma: no cover - itinerary covers users
+                raise InfeasibleScheduleError(
+                    f"transaction {t.tid} commits at t={ct} but object "
+                    f"{obj} has no visit for it"
+                )
+            arrival, departure, node = entry
+            if node != t.node:  # pragma: no cover - itinerary invariant
+                raise InfeasibleScheduleError(
+                    f"object {obj} visit for transaction {t.tid} targets "
+                    f"node {node}, not the transaction's node {t.node}"
+                )
+            if arrival > ct:
+                raise InfeasibleScheduleError(
+                    f"transaction {t.tid} commits at t={ct} but object "
+                    f"{obj} only arrives at node {t.node} at t={arrival}"
+                )
+            if departure < ct:
+                raise InfeasibleScheduleError(
+                    f"object {obj} departs node {t.node} at t={departure}, "
+                    f"before transaction {t.tid}'s commit at t={ct}"
+                )
+        if record_commits:
+            commits.append(
+                CommitEvent(ct, t.tid, t.node, tuple(sorted(t.objects)))
+            )
+
+    # statistics
+    object_distance: Dict[int, int] = {}
+    edge_traffic: Dict[tuple[int, int], int] = {}
+    idle = 0
+    events: List[tuple[int, int]] = []  # (time, +1/-1) in-flight sweep
+    for leg in legs:
+        object_distance[leg.obj] = object_distance.get(leg.obj, 0) + leg.distance
+        for hop in leg.hops:
+            key = (min(hop.src, hop.dst), max(hop.src, hop.dst))
+            edge_traffic[key] = edge_traffic.get(key, 0) + 1
+        idle += leg.deadline - leg.arrive
+        events.append((leg.depart, 1))
+        events.append((leg.arrive, -1))
+    events.sort(key=lambda e: (e[0], e[1]))
+    in_flight = 0
+    max_in_flight = 0
+    for _, delta in events:
+        in_flight += delta
+        max_in_flight = max(max_in_flight, in_flight)
+
+    return Trace(
+        makespan=schedule.makespan,
+        total_distance=sum(object_distance.values()),
+        object_distance=object_distance,
+        edge_traffic=edge_traffic,
+        max_in_flight=max_in_flight,
+        commits=tuple(commits),
+        idle_object_time=idle,
+    )

@@ -1,0 +1,70 @@
+"""Object routing: turn itinerary legs into hop-level route plans.
+
+In the data-flow model an object forwarded at commit time travels along a
+shortest path, one weight-unit per time step.  A :class:`RoutePlan` pins
+down exactly which edge the object occupies during which interval, which
+the engine uses to verify timing and to accumulate per-edge traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.graph import Network
+
+__all__ = ["Hop", "Leg", "plan_leg"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One edge traversal: occupy ``(src, dst)`` during ``[enter, exit)``."""
+
+    src: int
+    dst: int
+    enter: int
+    exit: int
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One itinerary leg routed along a shortest path."""
+
+    obj: int
+    depart: int
+    deadline: int
+    path: tuple[int, ...]
+    hops: tuple[Hop, ...]
+
+    @property
+    def arrive(self) -> int:
+        """Arrival time at the leg's destination."""
+        return self.hops[-1].exit if self.hops else self.depart
+
+    @property
+    def distance(self) -> int:
+        """Total distance covered."""
+        return sum(h.exit - h.enter for h in self.hops)
+
+
+def plan_leg(
+    net: Network, obj: int, src: int, dst: int, depart: int, deadline: int
+) -> Leg:
+    """Route ``obj`` from ``src`` to ``dst`` departing at ``depart``.
+
+    The caller checks ``arrive <= deadline``; this function only builds
+    the hop sequence along a shortest path.
+    """
+    path = net.shortest_path(src, dst)
+    hops = []
+    t = depart
+    for a, b in zip(path, path[1:]):
+        w = net.edge_weight(a, b)
+        hops.append(Hop(a, b, t, t + w))
+        t += w
+    return Leg(
+        obj=obj,
+        depart=depart,
+        deadline=deadline,
+        path=tuple(path),
+        hops=tuple(hops),
+    )

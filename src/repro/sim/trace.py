@@ -1,0 +1,69 @@
+"""Execution traces produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["CommitEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class CommitEvent:
+    """A transaction commit observed during simulation."""
+
+    time: int
+    tid: int
+    node: int
+    objects: Tuple[int, ...]
+
+
+@dataclass
+class Trace:
+    """What actually happened when a schedule was executed.
+
+    Attributes
+    ----------
+    makespan:
+        Time of the last commit (matches ``Schedule.makespan`` when the
+        schedule is feasible -- asserted by the engine).
+    total_distance:
+        Total distance travelled by all objects (communication cost).
+    object_distance:
+        Per-object distance travelled.
+    edge_traffic:
+        Traversal count per undirected edge ``(min(u,v), max(u,v))`` --
+        the congestion view the paper's conclusion flags as future work.
+    max_in_flight:
+        Peak number of objects simultaneously in transit.
+    commits:
+        Commit events in time order.
+    idle_object_time:
+        Total steps objects spent parked between legs (slack), summed.
+    """
+
+    makespan: int
+    total_distance: int
+    object_distance: Dict[int, int] = field(default_factory=dict)
+    edge_traffic: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    max_in_flight: int = 0
+    commits: Tuple[CommitEvent, ...] = ()
+    idle_object_time: int = 0
+
+    @property
+    def hottest_edge(self) -> Tuple[Tuple[int, int], int] | None:
+        """The most-traversed edge and its traffic, or None."""
+        if not self.edge_traffic:
+            return None
+        edge = max(self.edge_traffic, key=lambda e: (self.edge_traffic[e], e))
+        return edge, self.edge_traffic[edge]
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data summary for tables."""
+        return {
+            "makespan": self.makespan,
+            "total_distance": self.total_distance,
+            "max_in_flight": self.max_in_flight,
+            "idle_object_time": self.idle_object_time,
+            "commits": len(self.commits),
+        }

@@ -1,0 +1,23 @@
+"""ASCII renderings of the paper's figures and of schedules."""
+
+from .ascii import (
+    render_block_graph,
+    render_dependency,
+    render_cluster,
+    render_gantt,
+    render_line_blocks,
+    render_object_path,
+    render_star_rings,
+    render_subgrid_order,
+)
+
+__all__ = [
+    "render_line_blocks",
+    "render_subgrid_order",
+    "render_object_path",
+    "render_cluster",
+    "render_star_rings",
+    "render_block_graph",
+    "render_gantt",
+    "render_dependency",
+]

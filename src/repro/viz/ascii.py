@@ -1,0 +1,210 @@
+"""ASCII renderings of the paper's figures and of schedules.
+
+The paper's six figures are *constructions*, so they can be regenerated
+as text: the Fig 1 line decomposition, Fig 2's subgrid execution order
+with an object's path, Fig 3's cluster graph, Fig 4's star rings, and the
+Fig 5/6 block substrates.  :func:`render_gantt` additionally draws any
+schedule's commits over time -- handy for eyeballing phase structure.
+All functions return plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.schedule import Schedule
+from ..errors import TopologyError
+from ..network.graph import Network
+
+__all__ = [
+    "render_line_blocks",
+    "render_subgrid_order",
+    "render_object_path",
+    "render_cluster",
+    "render_star_rings",
+    "render_block_graph",
+    "render_gantt",
+    "render_dependency",
+]
+
+
+def _require(net: Network, name: str) -> None:
+    if net.topology.name != name:
+        raise TopologyError(
+            f"renderer expects a {name!r} network, got {net.topology.name!r}"
+        )
+
+
+def render_line_blocks(n: int, ell: int) -> str:
+    """Fig 1: a line of ``n`` nodes cut into blocks of ``ell`` (S1/S2).
+
+    Even-indexed blocks (phase 1) are bracketed ``[..]``, odd ones
+    (phase 2) ``(..)``.
+    """
+    parts = []
+    for start in range(0, n, ell):
+        nodes = " ".join(f"v{i}" for i in range(start, min(start + ell, n)))
+        block = start // ell
+        parts.append(f"[{nodes}]" if block % 2 == 0 else f"({nodes})")
+    legend = f"line n={n}, ell={ell}: [..] = S1 (phase 1), (..) = S2 (phase 2)"
+    return legend + "\n" + " ".join(parts)
+
+
+def render_subgrid_order(rows: int, cols: int, side: int) -> str:
+    """Fig 2: boustrophedon execution order of the subgrids.
+
+    Each cell shows the 1-based position of that subgrid in the column-
+    major alternating sweep.
+    """
+    sub_rows = -(-rows // side)
+    sub_cols = -(-cols // side)
+    order = {}
+    pos = 1
+    for j in range(sub_cols):
+        rng = range(sub_rows) if j % 2 == 0 else range(sub_rows - 1, -1, -1)
+        for i in rng:
+            order[(i, j)] = pos
+            pos += 1
+    width = len(str(pos - 1)) + 1
+    lines = [
+        f"{rows}x{cols} grid, {side}x{side} subgrids, boustrophedon order:"
+    ]
+    for i in range(sub_rows):
+        lines.append(
+            "".join(str(order[(i, j)]).rjust(width) for j in range(sub_cols))
+        )
+    return "\n".join(lines)
+
+
+def render_object_path(schedule: Schedule, obj: int, cols: int) -> str:
+    """Fig 2 overlay: an object's visit order drawn on the grid.
+
+    Cells show the visit number (1-based, ``*`` marks the home); unvisited
+    cells show ``.``.  ``cols`` is the grid width used for node ids.
+    """
+    visits = schedule.itinerary(obj)
+    rows = (schedule.instance.network.n + cols - 1) // cols
+    marks: dict[int, str] = {}
+    marks[visits[0].node] = "*"
+    for i, v in enumerate(visits[1:], start=1):
+        marks[v.node] = str(i)
+    width = max((len(m) for m in marks.values()), default=1) + 1
+    lines = [f"object {obj}: * = home, numbers = visit order"]
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            node = r * cols + c
+            cells.append(marks.get(node, ".").rjust(width))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_cluster(net: Network) -> str:
+    """Fig 3: clusters as bracketed cliques, bridges annotated with gamma."""
+    _require(net, "cluster")
+    topo = net.topology
+    clusters = topo.require("clusters")
+    gamma = topo.require("gamma")
+    bridges = topo.require("bridges")
+    lines = [
+        f"cluster graph: {len(clusters)} cliques x {len(clusters[0])} nodes, "
+        f"bridge weight gamma={gamma}"
+    ]
+    for i, members in enumerate(clusters):
+        nodes = " ".join(
+            f"*{v}" if v == bridges[i] else str(v) for v in members
+        )
+        lines.append(f"  C{i}: [{nodes}]   (* = bridge node)")
+    lines.append(
+        "  bridges form a complete graph: "
+        + ", ".join(f"*{b}" for b in bridges)
+    )
+    return "\n".join(lines)
+
+
+def render_star_rings(net: Network) -> str:
+    """Fig 4: rays as rows, exponential segments V1, V2, ... as columns."""
+    _require(net, "star")
+    from ..core.star import ray_segments
+
+    topo = net.topology
+    rays = topo.require("rays")
+    beta = topo.require("beta")
+    segments = ray_segments(beta)
+    header = "ray   " + "  ".join(
+        f"V{i}[{stop - start}]" for i, (start, stop) in enumerate(segments, 1)
+    )
+    lines = [
+        f"star: {len(rays)} rays x {beta} nodes, center *0, "
+        f"{len(segments)} segment rings",
+        header,
+    ]
+    for r, ray in enumerate(rays):
+        cells = []
+        for start, stop in segments:
+            cells.append(",".join(str(v) for v in ray[start:stop]))
+        lines.append(f"r{r:<4} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_block_graph(net: Network) -> str:
+    """Fig 5/6: the §8 substrate as blocks H_1..H_s with the heavy joins."""
+    if net.topology.name not in ("lb-grid", "lb-tree"):
+        raise TopologyError(
+            f"renderer expects lb-grid/lb-tree, got {net.topology.name!r}"
+        )
+    topo = net.topology
+    s = topo.require("s")
+    root = topo.require("root_s")
+    kind = "grid blocks" if net.topology.name == "lb-grid" else "comb-tree blocks"
+    chain = f" ={s}= ".join(f"[H{i + 1}:{s}x{root}]" for i in range(s))
+    return (
+        f"{net.topology.name}: s={s}, n={net.n} ({kind}), "
+        f"inter-block edge weight {s}\n{chain}"
+    )
+
+
+def render_dependency(instance, colors: dict[int, int] | None = None) -> str:
+    """The conflict graph H (§2.3) as an adjacency listing.
+
+    One line per transaction with its conflicts and edge weights
+    (distances in ``G``); pass a colouring to annotate each vertex with
+    its assigned colour/commit step.
+    """
+    from ..core.dependency import DependencyGraph
+
+    graph = DependencyGraph.build(instance)
+    lines = [
+        f"dependency graph: {graph.num_vertices} transactions, "
+        f"{graph.num_edges} conflicts, h_max={graph.h_max}, "
+        f"Delta={graph.max_degree}"
+    ]
+    for tid in graph.vertices():
+        nbrs = graph.neighbors(tid)
+        conflicts = " ".join(
+            f"T{other}(w{weight})" for other, weight in sorted(nbrs.items())
+        )
+        tag = f" colour={colors[tid]}" if colors and tid in colors else ""
+        lines.append(f"T{tid}{tag}: {conflicts if conflicts else '-'}")
+    return "\n".join(lines)
+
+
+def render_gantt(
+    schedule: Schedule, max_width: int = 72, tids: Sequence[int] | None = None
+) -> str:
+    """Commits over time: one row per transaction, ``#`` at its commit.
+
+    Long schedules are compressed to ``max_width`` columns.
+    """
+    commits = schedule.commit_times
+    chosen = sorted(commits) if tids is None else list(tids)
+    horizon = max(commits.values())
+    scale = max(1, -(-horizon // max_width))
+    lines = [
+        f"gantt: {len(chosen)} transactions, makespan {horizon}"
+        + (f", {scale} steps/col" if scale > 1 else "")
+    ]
+    for tid in chosen:
+        col = (commits[tid] - 1) // scale
+        lines.append(f"T{tid:<4}|" + "." * col + "#")
+    return "\n".join(lines)

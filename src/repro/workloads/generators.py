@@ -1,0 +1,216 @@
+"""Workload generators: how transactions pick their object sets.
+
+The paper studies two input regimes: *arbitrary* k-subsets (Clique, Line,
+Cluster, Star, Hypercube, Butterfly) and *uniformly random* k-subsets
+(Grid, where the TSP lower bound forbids good schedules for arbitrary
+inputs).  The generators here cover both plus structured families used by
+the experiments:
+
+* :func:`random_k_subsets` -- every transaction draws ``k`` objects
+  uniformly without replacement (the Grid model of §5);
+* :func:`zipf_k_subsets` -- popularity-skewed draws (realistic contention);
+* :func:`hot_object_instance` -- one globally shared object plus random
+  fill, maximizing ``ell`` (the adversarial shape behind Theorem 1's
+  lower-bound discussion);
+* :func:`partitioned_instance` -- objects partitioned among node groups
+  with a controllable fraction of cross-group transactions (drives
+  ``sigma`` for the Cluster/Star experiments);
+* :func:`line_span_instance` -- object requesters confined to windows of a
+  given span, controlling the Line algorithm's ``ell``.
+
+Unless stated otherwise each object's home is a uniformly random requester
+(the paper's standing assumption); objects nobody uses get arbitrary homes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.transaction import Transaction
+from ..network.graph import Network
+
+__all__ = [
+    "random_k_subsets",
+    "zipf_k_subsets",
+    "hot_object_instance",
+    "partitioned_instance",
+    "line_span_instance",
+    "homes_at_random_requesters",
+]
+
+
+def homes_at_random_requesters(
+    transactions: Sequence[Transaction],
+    num_objects: int,
+    rng: np.random.Generator,
+    fallback_node: int = 0,
+) -> dict[int, int]:
+    """Home every object at a uniformly random requester (paper assumption)."""
+    requesters: dict[int, list[int]] = {o: [] for o in range(num_objects)}
+    for t in transactions:
+        for o in t.objects:
+            requesters[o].append(t.node)
+    homes = {}
+    for o, nodes in requesters.items():
+        if nodes:
+            homes[o] = int(nodes[rng.integers(0, len(nodes))])
+        else:
+            homes[o] = fallback_node
+    return homes
+
+
+def _select_nodes(
+    net: Network, rng: np.random.Generator, density: float
+) -> list[int]:
+    """Nodes that host a transaction (all of them at density 1.0)."""
+    if density >= 1.0:
+        return list(net.nodes())
+    count = max(1, int(round(density * net.n)))
+    return sorted(int(v) for v in rng.choice(net.n, size=count, replace=False))
+
+
+def random_k_subsets(
+    net: Network,
+    w: int,
+    k: int,
+    rng: np.random.Generator,
+    density: float = 1.0,
+) -> Instance:
+    """One transaction per node, each drawing ``k`` of ``w`` objects uniformly."""
+    if not 1 <= k <= w:
+        raise ValueError(f"need 1 <= k <= w, got k={k}, w={w}")
+    transactions = [
+        Transaction(i, node, rng.choice(w, size=k, replace=False))
+        for i, node in enumerate(_select_nodes(net, rng, density))
+    ]
+    homes = homes_at_random_requesters(transactions, w, rng)
+    return Instance(net, transactions, homes)
+
+
+def zipf_k_subsets(
+    net: Network,
+    w: int,
+    k: int,
+    rng: np.random.Generator,
+    exponent: float = 1.2,
+    density: float = 1.0,
+) -> Instance:
+    """Popularity-skewed draws: object ``o`` has weight ``(o+1)^-exponent``."""
+    if not 1 <= k <= w:
+        raise ValueError(f"need 1 <= k <= w, got k={k}, w={w}")
+    weights = (np.arange(1, w + 1, dtype=np.float64)) ** (-exponent)
+    probs = weights / weights.sum()
+    transactions = [
+        Transaction(i, node, rng.choice(w, size=k, replace=False, p=probs))
+        for i, node in enumerate(_select_nodes(net, rng, density))
+    ]
+    homes = homes_at_random_requesters(transactions, w, rng)
+    return Instance(net, transactions, homes)
+
+
+def hot_object_instance(
+    net: Network, w: int, k: int, rng: np.random.Generator
+) -> Instance:
+    """Every transaction uses object 0 plus ``k - 1`` random others.
+
+    Maximizes the load ``ell = m`` on a single object; the greedy bound's
+    worst case.
+    """
+    if not 1 <= k <= w:
+        raise ValueError(f"need 1 <= k <= w, got k={k}, w={w}")
+    transactions = []
+    for i, node in enumerate(net.nodes()):
+        if k == 1:
+            objs: list[int] = [0]
+        else:
+            others = 1 + rng.choice(w - 1, size=k - 1, replace=False)
+            objs = [0, *(int(o) for o in others)]
+        transactions.append(Transaction(i, node, objs))
+    homes = homes_at_random_requesters(transactions, w, rng)
+    return Instance(net, transactions, homes)
+
+
+def partitioned_instance(
+    net: Network,
+    groups: Sequence[Sequence[int]],
+    objects_per_group: int,
+    k: int,
+    cross_fraction: float,
+    rng: np.random.Generator,
+) -> Instance:
+    """Group-local objects with a tunable fraction of cross-group access.
+
+    Each node group (e.g. the clusters of a cluster graph, the ray
+    segments of a star) owns ``objects_per_group`` objects.  Every node's
+    transaction draws ``k`` objects from its own group's pool, except that
+    with probability ``cross_fraction`` each draw comes from the global
+    pool instead -- turning the knob from ``sigma = 1`` (fully local) to
+    ``sigma ~ alpha`` (fully shared).
+    """
+    if not 0.0 <= cross_fraction <= 1.0:
+        raise ValueError(f"cross_fraction must be in [0,1], got {cross_fraction}")
+    num_groups = len(groups)
+    w = num_groups * objects_per_group
+    if k > objects_per_group:
+        raise ValueError(
+            f"k={k} exceeds objects_per_group={objects_per_group}"
+        )
+    transactions = []
+    tid = 0
+    for g, members in enumerate(groups):
+        local_pool = np.arange(
+            g * objects_per_group, (g + 1) * objects_per_group
+        )
+        for node in members:
+            picked: set[int] = set()
+            while len(picked) < k:
+                if rng.random() < cross_fraction:
+                    picked.add(int(rng.integers(0, w)))
+                else:
+                    picked.add(int(local_pool[rng.integers(0, objects_per_group)]))
+            transactions.append(Transaction(tid, int(node), picked))
+            tid += 1
+    homes = homes_at_random_requesters(transactions, w, rng)
+    return Instance(net, transactions, homes)
+
+
+def line_span_instance(
+    net: Network,
+    w: int,
+    k: int,
+    max_span: int,
+    rng: np.random.Generator,
+) -> Instance:
+    """Line workload whose objects live in windows of bounded span.
+
+    Each object ``o`` is anchored at a window of length
+    ``es = max(max_span, ceil((n-1)/w))`` (stretched just enough that ``w``
+    evenly spaced windows cover the line); every node draws its ``k``
+    objects among the windows containing it.  Requester spans are therefore
+    at most ``es``, giving direct control over the Line algorithm's
+    ``ell`` (``ell <= 1.5 * es``).
+    """
+    n = net.n
+    if max_span < 0:
+        raise ValueError(f"max_span must be >= 0, got {max_span}")
+    es = min(n - 1, max(max_span, -(-(n - 1) // max(w, 1))))
+    if w == 1:
+        anchors = np.zeros(1, dtype=np.int64)
+        es = n - 1
+    else:
+        anchors = np.round(
+            np.arange(w) * (n - 1 - es) / (w - 1)
+        ).astype(np.int64)
+    transactions = []
+    for node in range(n):
+        eligible = np.flatnonzero((anchors <= node) & (node <= anchors + es))
+        if eligible.size == 0:  # defensive; coverage holds by construction
+            eligible = np.asarray([int(np.argmin(np.abs(anchors - node)))])
+        take = min(k, eligible.size)
+        objs = rng.choice(eligible, size=take, replace=False)
+        transactions.append(Transaction(node, node, objs))
+    homes = homes_at_random_requesters(transactions, w, rng)
+    return Instance(net, transactions, homes)

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.transaction import Transaction
+from repro.network import (
+    butterfly,
+    clique,
+    cluster,
+    grid,
+    hypercube,
+    line,
+    star,
+)
+from repro.workloads import random_k_subsets
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_clique():
+    return clique(8)
+
+
+@pytest.fixture
+def small_line():
+    return line(16)
+
+
+@pytest.fixture
+def small_grid():
+    return grid(5)
+
+
+@pytest.fixture
+def small_cluster():
+    return cluster(3, 4, gamma=5)
+
+
+@pytest.fixture
+def small_star():
+    return star(3, 7)
+
+
+@pytest.fixture
+def small_hypercube():
+    return hypercube(3)
+
+
+@pytest.fixture
+def small_butterfly():
+    return butterfly(2)
+
+
+@pytest.fixture(
+    params=["clique", "line", "grid", "cluster", "hypercube", "butterfly", "star"]
+)
+def any_network(request):
+    """One network of each topology family (parameterized)."""
+    return {
+        "clique": clique(8),
+        "line": line(16),
+        "grid": grid(5),
+        "cluster": cluster(3, 4, gamma=5),
+        "hypercube": hypercube(3),
+        "butterfly": butterfly(2),
+        "star": star(3, 7),
+    }[request.param]
+
+
+@pytest.fixture
+def tiny_instance(small_clique):
+    """A hand-built 3-transaction instance on an 8-clique."""
+    txns = [
+        Transaction(0, 0, {0, 1}),
+        Transaction(1, 1, {1, 2}),
+        Transaction(2, 2, {2}),
+    ]
+    homes = {0: 0, 1: 0, 2: 1}
+    return Instance(small_clique, txns, homes)
+
+
+def make_instance(net, rng, w=None, k=2):
+    """Convenience builder used across integration tests."""
+    if w is None:
+        w = max(2, net.n // 2)
+    return random_k_subsets(net, w, min(k, w), rng)

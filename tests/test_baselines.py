@@ -1,0 +1,121 @@
+"""Unit tests for the baseline list schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ListScheduler,
+    RandomOrderScheduler,
+    SequentialScheduler,
+    TSPOrderScheduler,
+)
+from repro.core import Instance, Transaction
+from repro.network import clique, line
+from repro.sim import execute
+from repro.workloads import random_k_subsets
+
+
+ALL = [
+    ListScheduler(),
+    SequentialScheduler(),
+    RandomOrderScheduler(),
+    TSPOrderScheduler(),
+]
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("sched", ALL, ids=lambda s: s.name)
+    def test_feasible_on_random_instances(self, sched):
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            inst = random_k_subsets(line(14), w=4, k=2, rng=rng)
+            s = sched.schedule(inst, rng)
+            s.validate()
+            execute(s)
+
+    @pytest.mark.parametrize("sched", ALL, ids=lambda s: s.name)
+    def test_feasible_on_clique(self, sched):
+        rng = np.random.default_rng(9)
+        inst = random_k_subsets(clique(12), w=5, k=3, rng=rng)
+        sched.schedule(inst, rng).validate()
+
+
+class TestSequential:
+    def test_one_commit_per_step(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=rng)
+        s = SequentialScheduler().schedule(inst)
+        times = sorted(s.commit_times.values())
+        assert len(set(times)) == len(times)
+
+    def test_independent_transactions_still_serialized(self):
+        txns = [Transaction(i, i, {i}) for i in range(5)]
+        inst = Instance(clique(5), txns, {i: i for i in range(5)})
+        s = SequentialScheduler().schedule(inst)
+        assert s.makespan == 5
+
+
+class TestListScheduling:
+    def test_independent_transactions_parallel(self):
+        txns = [Transaction(i, i, {i}) for i in range(5)]
+        inst = Instance(clique(5), txns, {i: i for i in range(5)})
+        s = ListScheduler().schedule(inst)
+        assert s.makespan == 1
+
+    def test_shared_object_serializes_with_distance(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+        inst = Instance(line(5), txns, {0: 0})
+        s = ListScheduler().schedule(inst)
+        assert s.time_of(1) - s.time_of(0) >= 4
+
+    def test_commit_times_monotone_along_shared_chain(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(15), w=3, k=2, rng=rng)
+        s = ListScheduler().schedule(inst)
+        for obj in inst.objects:
+            users = sorted(inst.users(obj), key=lambda t: s.time_of(t.tid))
+            times = [s.time_of(t.tid) for t in users]
+            assert times == sorted(set(times))
+
+
+class TestRandomOrder:
+    def test_seeded_reproducibility(self):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=np.random.default_rng(0))
+        sa = RandomOrderScheduler().schedule(inst, rng_a)
+        sb = RandomOrderScheduler().schedule(inst, rng_b)
+        assert sa.commit_times == sb.commit_times
+
+    def test_works_without_rng(self):
+        inst = random_k_subsets(
+            clique(8), w=3, k=2, rng=np.random.default_rng(1)
+        )
+        RandomOrderScheduler().schedule(inst).validate()
+
+
+class TestTSPOrder:
+    def test_hottest_object_users_lead(self):
+        # object 0 is used by everyone; priority should start with its walk
+        txns = [Transaction(i, i, {0}) for i in range(6)]
+        inst = Instance(line(6), txns, {0: 0})
+        order = TSPOrderScheduler().priority(inst, None)
+        assert sorted(order) == list(range(6))
+        # walk from node 0 visits users in line order
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_single_user_falls_back_to_id_order(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 1, {1})]
+        inst = Instance(clique(3), txns, {0: 0, 1: 1})
+        assert TSPOrderScheduler().priority(inst, None) == [0, 1]
+
+    def test_non_walk_members_appended(self):
+        txns = [
+            Transaction(0, 0, {0}),
+            Transaction(1, 1, {0}),
+            Transaction(2, 2, {1}),
+        ]
+        inst = Instance(clique(4), txns, {0: 0, 1: 2})
+        order = TSPOrderScheduler().priority(inst, None)
+        assert set(order) == {0, 1, 2}
+        assert order.index(2) == 2

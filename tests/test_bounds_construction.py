@@ -1,0 +1,85 @@
+"""Unit tests for the §8 hard-instance constructions."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    a_object,
+    b_object,
+    hard_grid_instance,
+    hard_tree_instance,
+    object_report,
+)
+
+
+@pytest.fixture(params=["grid", "tree"])
+def hard(request):
+    rng = np.random.default_rng(42)
+    if request.param == "grid":
+        return hard_grid_instance(4, rng)
+    return hard_tree_instance(4, rng)
+
+
+class TestStructure:
+    def test_every_node_has_a_transaction(self, hard):
+        assert hard.instance.m == hard.network.n
+
+    def test_two_objects_per_transaction(self, hard):
+        assert all(t.k == 2 for t in hard.instance.transactions)
+
+    def test_block_serializer_used_by_whole_block(self, hard):
+        blocks = hard.network.topology.require("blocks")
+        for i, members in enumerate(blocks):
+            users = {t.node for t in hard.instance.users(a_object(i))}
+            assert users == set(members)
+
+    def test_a_objects_homed_top_left_h1(self, hard):
+        blocks = hard.network.topology.require("blocks")
+        for i in range(hard.s):
+            assert hard.instance.home(a_object(i)) == blocks[0][0]
+
+    def test_b_objects_homed_in_h1(self, hard):
+        blocks = hard.network.topology.require("blocks")
+        h1 = set(blocks[0])
+        for j in range(hard.s):
+            assert hard.instance.home(b_object(hard.s, j)) in h1
+
+    def test_b_homes_prefer_requesters(self, hard):
+        h1 = set(hard.network.topology.require("blocks")[0])
+        for j in range(hard.s):
+            obj = b_object(hard.s, j)
+            h1_users = [
+                t.node for t in hard.instance.users(obj) if t.node in h1
+            ]
+            if h1_users:
+                assert hard.instance.home(obj) in h1_users
+
+    def test_object_count_is_2s(self, hard):
+        assert hard.instance.num_objects == 2 * hard.s
+
+    def test_block_of(self, hard):
+        blocks = hard.network.topology.require("blocks")
+        for idx, members in enumerate(blocks):
+            for node in members:
+                assert hard.block_of(node) == idx
+
+
+class TestLemma10:
+    @pytest.mark.parametrize("s", [4, 9])
+    def test_tours_within_5s_squared(self, s):
+        # Lemma 10: every object's walk (hence tour estimate up to 2x) is
+        # O(s^2); check the 5s^2 constant for the b-objects' *walks* and a
+        # relaxed 2x bound for heuristic closed tours.
+        rng = np.random.default_rng(s)
+        hard = hard_grid_instance(s, rng)
+        report = object_report(hard.instance)
+        for ob in report.values():
+            assert ob.walk_upper <= 5 * s * s
+            assert ob.tour_estimate <= 10 * s * s
+
+    def test_reproducible_given_seed(self):
+        a = hard_grid_instance(4, np.random.default_rng(7))
+        b = hard_grid_instance(4, np.random.default_rng(7))
+        assert [t.objects for t in a.instance.transactions] == [
+            t.objects for t in b.instance.transactions
+        ]

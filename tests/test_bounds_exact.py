@@ -1,0 +1,112 @@
+"""Tests for the exact branch-and-bound scheduler."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bounds import makespan_lower_bound, optimal_schedule
+from repro.bounds.exact import _list_schedule
+from repro.core import GreedyScheduler, Instance, Transaction
+from repro.errors import SchedulingError
+from repro.network import clique, line
+from repro.sim import execute
+from repro.workloads import random_k_subsets
+
+
+def brute_force_optimum(instance):
+    """Minimum list-schedule makespan over every commit permutation."""
+    tids = [t.tid for t in instance.transactions]
+    best = None
+    for perm in itertools.permutations(tids):
+        mk = max(_list_schedule(instance, list(perm)).values())
+        best = mk if best is None else min(best, mk)
+    return best
+
+
+class TestOptimalSchedule:
+    def test_matches_brute_force_on_random_tinies(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            inst = random_k_subsets(clique(6), w=3, k=2, rng=rng, density=1.0)
+            opt = optimal_schedule(inst)
+            opt.validate()
+            assert opt.makespan == brute_force_optimum(inst)
+
+    def test_matches_brute_force_on_line(self):
+        for seed in range(5):
+            rng = np.random.default_rng(100 + seed)
+            inst = random_k_subsets(line(6), w=3, k=2, rng=rng)
+            opt = optimal_schedule(inst)
+            assert opt.makespan == brute_force_optimum(inst)
+
+    def test_never_beats_lower_bound_nor_loses_to_greedy(self):
+        for seed in range(8):
+            rng = np.random.default_rng(200 + seed)
+            inst = random_k_subsets(clique(7), w=4, k=2, rng=rng)
+            opt = optimal_schedule(inst)
+            greedy = GreedyScheduler().schedule(inst)
+            assert makespan_lower_bound(inst) <= opt.makespan <= greedy.makespan
+
+    def test_executes_in_simulator(self):
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(clique(6), w=3, k=2, rng=rng)
+        execute(optimal_schedule(inst))
+
+    def test_hand_case_two_conflicting(self):
+        # two txns share an object at distance 4: one commits at 1, the
+        # other 4 steps later
+        txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+        inst = Instance(line(5), txns, {0: 0})
+        assert optimal_schedule(inst).makespan == 5
+
+    def test_hand_case_independent_parallel(self):
+        txns = [Transaction(i, i, {i}) for i in range(4)]
+        inst = Instance(clique(4), txns, {i: i for i in range(4)})
+        assert optimal_schedule(inst).makespan == 1
+
+    def test_order_matters_case(self):
+        # object 0 used at nodes 0 and 5; object 1 at nodes 5 and 0.
+        # Committing both endpoints in the right interleaving avoids a
+        # double round trip.
+        txns = [Transaction(0, 0, {0, 1}), Transaction(1, 5, {0, 1})]
+        inst = Instance(line(6), txns, {0: 0, 1: 5})
+        opt = optimal_schedule(inst)
+        # whichever commits first waits for the far object (5), the other
+        # follows after the 5-step hand-off
+        assert opt.makespan == 10
+
+    def test_limit_enforced(self):
+        rng = np.random.default_rng(6)
+        inst = random_k_subsets(clique(12), w=4, k=2, rng=rng)
+        with pytest.raises(SchedulingError, match="m <= 10"):
+            optimal_schedule(inst)
+
+    def test_meta_reports_proof_kind(self):
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(clique(2), txns, {0: 0})
+        opt = optimal_schedule(inst)
+        assert opt.meta["proved"] in ("lb", "search")
+
+
+class TestTrueApproximationRatios:
+    """With OPT in hand, measure the schedulers' *true* ratios (tiny m)."""
+
+    def test_clique_greedy_true_ratio_within_theorem(self):
+        for seed in range(6):
+            rng = np.random.default_rng(300 + seed)
+            inst = random_k_subsets(clique(7), w=4, k=2, rng=rng)
+            opt = optimal_schedule(inst).makespan
+            greedy = GreedyScheduler().schedule(inst).makespan
+            # Theorem 1: O(k) with k = 2; generous constant
+            assert greedy <= 3 * 2 * opt + 1
+
+    def test_line_scheduler_true_ratio(self):
+        from repro.core import LineScheduler
+
+        for seed in range(6):
+            rng = np.random.default_rng(400 + seed)
+            inst = random_k_subsets(line(8), w=4, k=2, rng=rng)
+            opt = optimal_schedule(inst).makespan
+            ls = LineScheduler().schedule(inst).makespan
+            assert ls <= 6 * opt + 4  # Theorem 2's constant factor

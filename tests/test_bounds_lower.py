@@ -1,0 +1,78 @@
+"""Unit tests for certified lower bounds (repro.bounds.lower)."""
+
+import numpy as np
+
+from repro.bounds import makespan_lower_bound, object_report
+from repro.core import Instance, Transaction
+from repro.network import clique, line
+from repro.workloads import random_k_subsets
+
+
+class TestObjectReport:
+    def test_report_covers_used_objects_only(self):
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(clique(3), txns, {0: 0, 7: 2})
+        rep = object_report(inst)
+        assert set(rep) == {0}
+
+    def test_small_sets_are_exact(self):
+        txns = [
+            Transaction(0, 0, {0}),
+            Transaction(1, 3, {0}),
+            Transaction(2, 7, {0}),
+        ]
+        inst = Instance(line(8), txns, {0: 3})
+        ob = object_report(inst)[0]
+        # walk from 3 visiting {0, 3, 7}: 3 + ... best is 3->0 (3) ->7 (7) = 10
+        # or 3->7 (4) ->0 (7) = 11; exact = 10
+        assert ob.walk_lower == ob.walk_upper == 10
+        assert ob.load == 3
+
+    def test_tour_fields_consistent(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(line(20), w=4, k=2, rng=rng)
+        for ob in object_report(inst).values():
+            assert ob.tour_lower <= ob.tour_estimate
+            assert ob.walk_lower <= ob.walk_upper
+
+
+class TestMakespanLowerBound:
+    def test_at_least_one(self):
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(clique(2), txns, {0: 0})
+        assert makespan_lower_bound(inst) == 1
+
+    def test_walk_dominates(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 9, {0})]
+        inst = Instance(line(10), txns, {0: 0})
+        assert makespan_lower_bound(inst) >= 9
+
+    def test_load_bound_on_clique(self):
+        # 6 transactions share one object on a clique: need >= 6 steps
+        txns = [Transaction(i, i, {0}) for i in range(6)]
+        inst = Instance(clique(6), txns, {0: 0})
+        assert makespan_lower_bound(inst) >= 6
+
+    def test_load_bound_scales_with_min_gap(self):
+        # 3 users of one object spaced >= 3 apart on a line
+        txns = [Transaction(0, 0, {0}), Transaction(1, 3, {0}), Transaction(2, 6, {0})]
+        inst = Instance(line(7), txns, {0: 0})
+        assert makespan_lower_bound(inst) >= (3 - 1) * 3 + 1
+
+    def test_reuses_supplied_report(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(12), w=4, k=2, rng=rng)
+        rep = object_report(inst)
+        assert makespan_lower_bound(inst, rep) == makespan_lower_bound(inst)
+
+    def test_lower_bound_never_exceeds_any_feasible_makespan(self):
+        from repro.core import GreedyScheduler
+
+        rng = np.random.default_rng(2)
+        for seed in range(5):
+            inst = random_k_subsets(
+                line(15), w=4, k=2, rng=np.random.default_rng(seed)
+            )
+            s = GreedyScheduler().schedule(inst)
+            s.validate()
+            assert makespan_lower_bound(inst) <= s.makespan

@@ -1,0 +1,125 @@
+"""Unit tests for walk/tour machinery (repro.bounds.walks)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bounds.walks import (
+    held_karp_path,
+    mst_weight,
+    nearest_neighbor_path,
+    path_length,
+    tour_length,
+    two_opt_path,
+    walk_bounds,
+)
+
+
+def brute_force_path(dist, start):
+    n = dist.shape[0]
+    best = None
+    for perm in itertools.permutations([i for i in range(n) if i != start]):
+        order = [start, *perm]
+        total = path_length(dist, order)
+        best = total if best is None else min(best, total)
+    return best or 0
+
+
+def random_metric(rng, n):
+    pts = rng.integers(0, 50, size=(n, 2))
+    d = np.abs(pts[:, None, :] - pts[None, :, :]).sum(axis=2)
+    return d.astype(np.int64)
+
+
+class TestHeldKarp:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_matches_brute_force(self, n):
+        rng = np.random.default_rng(n)
+        d = random_metric(rng, n)
+        assert held_karp_path(d, 0) == brute_force_path(d, 0)
+
+    def test_start_matters(self):
+        # path metric 0 - 1 - 2 with start in the middle
+        d = np.array([[0, 1, 2], [1, 0, 1], [2, 1, 0]], dtype=np.int64)
+        assert held_karp_path(d, 0) == 2
+        assert held_karp_path(d, 1) == 3
+
+    def test_single_node(self):
+        assert held_karp_path(np.zeros((1, 1), dtype=np.int64), 0) == 0
+
+
+class TestHeuristics:
+    def test_nearest_neighbor_visits_all(self):
+        rng = np.random.default_rng(0)
+        d = random_metric(rng, 8)
+        order = nearest_neighbor_path(d, 0)
+        assert sorted(order) == list(range(8))
+        assert order[0] == 0
+
+    def test_two_opt_never_worsens(self):
+        rng = np.random.default_rng(1)
+        d = random_metric(rng, 10)
+        order = nearest_neighbor_path(d, 0)
+        improved = two_opt_path(d, order)
+        assert path_length(d, improved) <= path_length(d, order)
+        assert improved[0] == 0  # start pinned
+
+    def test_two_opt_unpinned_start(self):
+        rng = np.random.default_rng(2)
+        d = random_metric(rng, 8)
+        order = two_opt_path(d, list(range(8)), fixed_start=False)
+        assert sorted(order) == list(range(8))
+
+
+class TestMST:
+    def test_mst_weight_path_metric(self):
+        d = np.array(
+            [[0, 1, 2], [1, 0, 1], [2, 1, 0]], dtype=np.int64
+        )
+        assert mst_weight(d) == 2
+
+    def test_mst_lower_bounds_walk(self):
+        rng = np.random.default_rng(3)
+        for n in (4, 6, 8):
+            d = random_metric(rng, n)
+            assert mst_weight(d) <= held_karp_path(d, 0)
+
+    def test_mst_trivial(self):
+        assert mst_weight(np.zeros((1, 1), dtype=np.int64)) == 0
+
+
+class TestWalkBounds:
+    def test_exact_for_small_sets(self):
+        rng = np.random.default_rng(4)
+        d = random_metric(rng, 7)
+        lo, hi = walk_bounds(d, 0)
+        assert lo == hi == held_karp_path(d, 0)
+
+    def test_sandwich_for_large_sets(self):
+        rng = np.random.default_rng(5)
+        d = random_metric(rng, 20)
+        lo, hi = walk_bounds(d, 0)
+        assert lo <= hi
+        assert lo >= 0
+
+    def test_empty_and_singleton(self):
+        assert walk_bounds(np.zeros((1, 1), dtype=np.int64), 0) == (0, 0)
+
+
+class TestTour:
+    def test_two_nodes(self):
+        d = np.array([[0, 5], [5, 0]], dtype=np.int64)
+        assert tour_length(d) == 10
+
+    def test_tour_at_most_twice_walk(self):
+        rng = np.random.default_rng(6)
+        for n in (4, 6, 8):
+            d = random_metric(rng, n)
+            walk = held_karp_path(d, 0)
+            assert tour_length(d) <= 2 * max(walk, 1) + d.max()
+
+    def test_tour_at_least_mst(self):
+        rng = np.random.default_rng(7)
+        d = random_metric(rng, 9)
+        assert tour_length(d) >= mst_weight(d)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e13" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "e7" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_bare_experiment_id_implies_run(self, capsys):
+        assert main(["e1", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "finished in" in out
+
+    def test_explicit_run_subcommand(self, capsys):
+        assert main(["run", "e3", "--quick"]) == 0
+        assert "Theorem 2" in capsys.readouterr().out
+
+    def test_markdown_mode(self, capsys):
+        assert main(["e1", "--quick", "--markdown"]) == 0
+        assert capsys.readouterr().out.lstrip().startswith("|")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(SystemExit):
+            # not an experiment id and not a subcommand -> argparse error
+            main(["e42", "--quick"])
+
+
+class TestSchedule:
+    def test_clique_schedule(self, capsys):
+        rc = main([
+            "schedule", "--topology", "clique", "--size", "16",
+            "--objects", "8", "--k", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheduler=clique" in out
+        assert "makespan=" in out
+
+    def test_cluster_with_size2_and_explicit_scheduler(self, capsys):
+        rc = main([
+            "schedule", "--topology", "cluster", "--size", "3",
+            "--size2", "4", "--objects", "6", "--scheduler", "sequential",
+        ])
+        assert rc == 0
+        assert "scheduler=sequential" in capsys.readouterr().out
+
+    def test_save_and_validate_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        assert main([
+            "schedule", "--topology", "grid", "--size", "4",
+            "--objects", "4", "--save", str(path),
+        ]) == 0
+        assert path.exists()
+        assert main(["validate", str(path)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_gantt_output(self, capsys):
+        assert main([
+            "schedule", "--topology", "line", "--size", "12",
+            "--objects", "4", "--gantt",
+        ]) == 0
+        assert "gantt:" in capsys.readouterr().out
+
+    def test_unknown_topology_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown topology"):
+            main(["schedule", "--topology", "moebius", "--size", "4"])
+
+    def test_zipf_and_hot_workloads(self, capsys):
+        for workload in ("zipf", "hot"):
+            assert main([
+                "schedule", "--topology", "clique", "--size", "10",
+                "--objects", "5", "--workload", workload,
+            ]) == 0
+
+
+class TestFigures:
+    def test_all_six_figures_printed(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6"):
+            assert fig in out
+        assert "boustrophedon" in out
+
+
+class TestReport:
+    def test_report_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out), "e1"]) == 0
+        text = out.read_text()
+        assert "Reproduction report" in text
+        assert "Fig 1" in text and "Fig 6" in text
+        assert "Theorem 1" in text
+        assert "| workload |" in text  # markdown table
+
+    def test_report_default_covers_quick_suite(self, tmp_path):
+        from repro.experiments.report import generate_report
+
+        out = generate_report(tmp_path / "r.md", quick=True,
+                              experiments=["e7", "e8"])
+        text = out.read_text()
+        assert "Theorem 6" in text
+        assert text.count("###") >= 8  # 6 figures + 2 tables

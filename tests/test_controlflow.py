@@ -1,0 +1,142 @@
+"""Unit tests for the control-flow model extension."""
+
+import numpy as np
+import pytest
+
+from repro.controlflow import (
+    ControlFlowSchedule,
+    ControlFlowScheduler,
+    LockInterval,
+)
+from repro.core import Instance, Transaction
+from repro.errors import InfeasibleScheduleError
+from repro.network import clique, grid, line
+from repro.workloads import random_k_subsets, root_rng
+
+
+def two_txn_instance():
+    """Two transactions sharing object 0 homed at node 2 on a 5-line."""
+    txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+    return Instance(line(5), txns, {0: 2})
+
+
+class TestLockInterval:
+    def test_overlap_detection(self):
+        a = LockInterval(0, 0, 2, 6)
+        assert a.overlaps(LockInterval(1, 0, 5, 9))
+        assert not a.overlaps(LockInterval(1, 0, 6, 9))  # touching is fine
+        assert not a.overlaps(LockInterval(1, 0, 0, 2))
+
+
+class TestValidation:
+    def make(self, locks, starts=None, commits=None):
+        inst = two_txn_instance()
+        starts = starts or {0: 0, 1: 0}
+        commits = commits or {0: 4, 1: 8}
+        return ControlFlowSchedule(inst, starts, commits, locks)
+
+    def good_locks(self):
+        return {
+            (0, 0): LockInterval(0, 0, 2, 6),
+            (1, 0): LockInterval(1, 0, 6, 10),
+        }
+
+    def test_valid_schedule_passes(self):
+        s = self.make(self.good_locks(), commits={0: 4, 1: 8})
+        s.validate()
+        assert s.makespan == 8
+
+    def test_missing_lock_rejected(self):
+        locks = self.good_locks()
+        del locks[(1, 0)]
+        with pytest.raises(InfeasibleScheduleError, match="no lock"):
+            self.make(locks).validate()
+
+    def test_early_acquire_rejected(self):
+        # request from node 0 cannot reach home 2 before start + 2
+        locks = self.good_locks()
+        locks[(0, 0)] = LockInterval(0, 0, 1, 6)
+        with pytest.raises(InfeasibleScheduleError, match="request"):
+            self.make(locks).validate()
+
+    def test_release_before_commit_rejected(self):
+        locks = self.good_locks()
+        locks[(0, 0)] = LockInterval(0, 0, 2, 3)
+        with pytest.raises(InfeasibleScheduleError, match="strictly contain"):
+            self.make(locks, commits={0: 4, 1: 8}).validate()
+
+    def test_overlapping_holds_rejected(self):
+        locks = {
+            (0, 0): LockInterval(0, 0, 2, 7),
+            (1, 0): LockInterval(1, 0, 6, 10),
+        }
+        with pytest.raises(InfeasibleScheduleError, match="simultaneously"):
+            self.make(locks).validate()
+
+    def test_commit_before_start_rejected(self):
+        with pytest.raises(InfeasibleScheduleError, match="before its"):
+            self.make(self.good_locks(), starts={0: 9, 1: 0}).validate()
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("mode", ["rpc", "migration", "hybrid"])
+    def test_feasible_across_modes_and_topologies(self, mode):
+        for net in (clique(12), line(16), grid(4)):
+            rng = root_rng(net.n)
+            inst = random_k_subsets(net, max(3, net.n // 3), 2, rng)
+            s = ControlFlowScheduler(mode).schedule(inst)
+            s.validate()
+            assert s.mode == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowScheduler("teleport")
+
+    def test_rpc_service_time_is_round_trip(self):
+        inst = two_txn_instance()
+        s = ControlFlowScheduler("rpc").schedule(inst)
+        s.validate()
+        # txn 0 at distance 2: commit >= 4 (2*2)
+        assert s.commit_times[0] - s.start_times[0] == 4
+
+    def test_migration_walks_to_homes(self):
+        txns = [Transaction(0, 0, {0, 1})]
+        inst = Instance(line(5), txns, {0: 2, 1: 4})
+        s = ControlFlowScheduler("migration").schedule(inst)
+        s.validate()
+        # walk 0 -> 2 -> 4 has length 4
+        assert s.commit_times[0] - s.start_times[0] == 4
+
+    def test_hybrid_never_slower_than_both(self):
+        for seed in range(5):
+            rng = root_rng(500 + seed)
+            inst = random_k_subsets(grid(5), w=6, k=2, rng=rng)
+            mk = {
+                mode: ControlFlowScheduler(mode).schedule(inst).makespan
+                for mode in ("rpc", "migration", "hybrid")
+            }
+            assert mk["hybrid"] <= max(mk["rpc"], mk["migration"])
+
+    def test_serialization_on_shared_object(self):
+        # many transactions on one object: lock holds serialize them
+        txns = [Transaction(i, i, {0}) for i in range(6)]
+        inst = Instance(clique(6), txns, {0: 0})
+        s = ControlFlowScheduler("rpc").schedule(inst)
+        s.validate()
+        holds = sorted(
+            (iv.acquire, iv.release) for (tid, o), iv in s.locks.items()
+        )
+        for a, b in zip(holds, holds[1:]):
+            assert a[1] <= b[0]
+
+    def test_meta_records_migration_fraction(self):
+        rng = root_rng(9)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=rng)
+        s = ControlFlowScheduler("hybrid").schedule(inst)
+        assert 0.0 <= s.meta["migration_fraction"] <= 1.0
+
+    def test_communication_cost_positive(self):
+        inst = two_txn_instance()
+        for mode in ("rpc", "migration"):
+            s = ControlFlowScheduler(mode).schedule(inst)
+            assert s.communication_cost > 0

@@ -1,0 +1,155 @@
+"""Unit tests for the cluster scheduler (§6, Theorem 4, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterScheduler, object_cluster_spread
+from repro.core.rounds import theoretical_psi, theoretical_zeta
+from repro.errors import TopologyError
+from repro.network import clique, cluster
+from repro.sim import execute
+from repro.workloads import partitioned_instance, random_k_subsets
+
+
+def cluster_instance(alpha=4, beta=5, gamma=6, cross=0.5, k=2, seed=0):
+    net = cluster(alpha, beta, gamma=gamma)
+    groups = net.topology.require("clusters")
+    rng = np.random.default_rng(seed)
+    return partitioned_instance(
+        net, groups, objects_per_group=max(k, 3), k=k,
+        cross_fraction=cross, rng=rng,
+    )
+
+
+class TestSpread:
+    def test_local_objects_sigma_one(self):
+        inst = cluster_instance(cross=0.0)
+        assert object_cluster_spread(inst) == 1
+
+    def test_shared_objects_raise_sigma(self):
+        inst = cluster_instance(cross=1.0, seed=1)
+        assert object_cluster_spread(inst) >= 2
+
+
+class TestApproaches:
+    def test_requires_cluster_topology(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(8), w=4, k=2, rng=rng)
+        with pytest.raises(TopologyError):
+            ClusterScheduler().schedule(inst)
+
+    def test_invalid_approach_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(approach=3)
+
+    @pytest.mark.parametrize("approach", [1, 2, "auto"])
+    def test_feasible_all_approaches(self, approach):
+        inst = cluster_instance(seed=2)
+        rng = np.random.default_rng(2)
+        s = ClusterScheduler(approach=approach).schedule(inst, rng)
+        s.validate()
+        execute(s)
+
+    def test_sigma_one_uses_approach1_and_parallelizes(self):
+        inst = cluster_instance(alpha=6, beta=4, cross=0.0, seed=3)
+        s = ClusterScheduler(approach="auto").schedule(
+            inst, np.random.default_rng(3)
+        )
+        assert s.meta["approach"] == 1
+        # clusters run in parallel: far below alpha * beta sequential steps
+        assert s.makespan <= 4 * inst.max_k * inst.max_load + 1
+
+    def test_auto_picks_min(self):
+        inst = cluster_instance(cross=1.0, seed=4)
+        rng = np.random.default_rng(4)
+        s = ClusterScheduler(approach="auto").schedule(inst, rng)
+        assert s.makespan == min(
+            s.meta["approach1_makespan"], s.meta["approach2_makespan"]
+        )
+
+    def test_approach2_meta(self):
+        inst = cluster_instance(cross=1.0, seed=5)
+        rng = np.random.default_rng(5)
+        s = ClusterScheduler(approach=2).schedule(inst, rng)
+        assert s.meta["approach"] == 2
+        assert s.meta["rounds_used"] >= 1
+        assert s.meta["round_duration"] == 5 + 6 + 2  # beta + gamma + 2
+        assert s.meta["psi"] >= 1
+
+    def test_approach2_deterministic_given_rng(self):
+        inst = cluster_instance(cross=1.0, seed=6)
+        s1 = ClusterScheduler(approach=2).schedule(
+            inst, np.random.default_rng(9)
+        )
+        s2 = ClusterScheduler(approach=2).schedule(
+            inst, np.random.default_rng(9)
+        )
+        assert s1.commit_times == s2.commit_times
+
+    def test_approach2_fallback_cap(self):
+        # with a 1-round cap most transactions spill into the deterministic
+        # tail; the schedule must remain feasible
+        inst = cluster_instance(cross=1.0, seed=7)
+        rng = np.random.default_rng(7)
+        s = ClusterScheduler(approach=2, max_rounds_per_phase=1).schedule(
+            inst, rng
+        )
+        s.validate()
+        execute(s)
+
+    def test_default_rng_when_none(self):
+        inst = cluster_instance(cross=1.0, seed=8)
+        s = ClusterScheduler(approach=2).schedule(inst)
+        s.validate()
+
+
+class TestTheoryHelpers:
+    def test_psi_monotone_in_sigma(self):
+        assert theoretical_psi(1, 100) == 1
+        assert theoretical_psi(1000, 100) > theoretical_psi(10, 100)
+
+    def test_zeta_growth_in_k(self):
+        assert theoretical_zeta(2, 100) > theoretical_zeta(1, 100)
+        assert theoretical_zeta(1, 100) >= 2 * 40
+
+    def test_theorem_ratio_envelope(self):
+        inst = cluster_instance(seed=9)
+        r = ClusterScheduler.theorem_ratio(inst)
+        beta = inst.network.topology.require("beta")
+        assert r <= inst.max_k * beta
+
+
+class TestClusterBoundaryCases:
+    def test_single_cluster(self):
+        net = cluster(1, 6, gamma=6)
+        rng = np.random.default_rng(20)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        for approach in (1, 2, "auto"):
+            s = ClusterScheduler(approach=approach).schedule(inst, rng)
+            s.validate()
+
+    def test_singleton_clusters(self):
+        # beta = 1: every "clique" is one node, all traffic over bridges
+        net = cluster(5, 1, gamma=3)
+        rng = np.random.default_rng(21)
+        inst = random_k_subsets(net, w=3, k=2, rng=rng)
+        s = ClusterScheduler(approach="auto").schedule(inst, rng)
+        s.validate()
+        execute(s)
+
+    def test_sparse_transactions_across_clusters(self):
+        net = cluster(4, 5, gamma=7)
+        rng = np.random.default_rng(22)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng, density=0.4)
+        s = ClusterScheduler(approach=2).schedule(inst, rng)
+        s.validate()
+        execute(s)
+
+    def test_huge_gamma(self):
+        # very slow fabric: rounds are long but everything stays feasible
+        net = cluster(3, 4, gamma=50)
+        rng = np.random.default_rng(23)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        s = ClusterScheduler(approach=2).schedule(inst, rng)
+        s.validate()
+        assert s.meta["round_duration"] == 4 + 50 + 2

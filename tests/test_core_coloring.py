@@ -1,0 +1,132 @@
+"""Unit tests for the greedy weighted colouring (§2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DependencyGraph, Instance, Transaction
+from repro.core.coloring import greedy_color, order_vertices, validate_coloring
+from repro.errors import SchedulingError
+from repro.network import clique, line
+from repro.workloads import random_k_subsets
+
+
+def hot_clique_graph(n=6):
+    inst = Instance(
+        clique(n), [Transaction(i, i, {0}) for i in range(n)], {0: 0}
+    )
+    return DependencyGraph.build(inst)
+
+
+class TestGreedyColor:
+    def test_clique_in_h_gets_distinct_colors(self):
+        h = hot_clique_graph(6)
+        colors = greedy_color(h)
+        assert len(set(colors.values())) == 6
+        assert set(colors.values()) == {1, 2, 3, 4, 5, 6}
+
+    def test_colors_are_hmax_multiples_plus_one(self):
+        inst = Instance(
+            line(12),
+            [
+                Transaction(0, 0, {0}),
+                Transaction(1, 6, {0}),
+                Transaction(2, 11, {0}),
+            ],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst)
+        colors = greedy_color(h)
+        hmax = h.h_max
+        assert all((c - 1) % hmax == 0 for c in colors.values())
+
+    def test_within_gamma_plus_one(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(20), w=6, k=3, rng=rng)
+        h = DependencyGraph.build(inst)
+        colors = greedy_color(h)
+        assert max(colors.values()) <= h.weighted_degree + 1
+
+    def test_validate_accepts_greedy_output(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(15), w=5, k=2, rng=rng)
+        h = DependencyGraph.build(inst)
+        validate_coloring(h, greedy_color(h))
+
+    def test_validate_rejects_weight_violation(self):
+        inst = Instance(
+            line(8),
+            [Transaction(0, 0, {0}), Transaction(1, 7, {0})],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst)
+        with pytest.raises(SchedulingError, match="differ"):
+            validate_coloring(h, {0: 1, 1: 3})  # needs gap >= 7
+
+    def test_validate_rejects_uncoloured_vertex(self):
+        h = hot_clique_graph(3)
+        with pytest.raises(SchedulingError, match="uncoloured"):
+            validate_coloring(h, {0: 1, 1: 2})
+
+    def test_validate_rejects_nonpositive_colour(self):
+        h = hot_clique_graph(2)
+        with pytest.raises(SchedulingError, match="non-positive"):
+            validate_coloring(h, {0: 0, 1: 5})
+
+    def test_isolated_vertices_all_get_colour_one(self):
+        inst = Instance(
+            clique(4),
+            [Transaction(i, i, {i}) for i in range(4)],
+            {i: i for i in range(4)},
+        )
+        h = DependencyGraph.build(inst)
+        colors = greedy_color(h)
+        assert set(colors.values()) == {1}
+
+
+class TestOrdering:
+    def test_id_order(self):
+        h = hot_clique_graph(4)
+        assert order_vertices(h, "id") == [0, 1, 2, 3]
+
+    def test_degree_order_descending(self):
+        # star in H: vertex 0 conflicts with everyone, others only with 0
+        inst = Instance(
+            clique(4),
+            [
+                Transaction(0, 0, {0, 1, 2}),
+                Transaction(1, 1, {0}),
+                Transaction(2, 2, {1}),
+                Transaction(3, 3, {2}),
+            ],
+            {0: 0, 1: 0, 2: 0},
+        )
+        h = DependencyGraph.build(inst)
+        order = order_vertices(h, "degree")
+        assert order[0] == 0
+
+    def test_random_order_is_permutation_and_seeded(self):
+        h = hot_clique_graph(8)
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        o1 = order_vertices(h, "random", rng1)
+        o2 = order_vertices(h, "random", rng2)
+        assert sorted(o1) == list(range(8))
+        assert o1 == o2
+
+    def test_random_order_without_rng_raises(self):
+        with pytest.raises(SchedulingError, match="rng"):
+            order_vertices(hot_clique_graph(3), "random")
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(SchedulingError, match="unknown"):
+            order_vertices(hot_clique_graph(3), "zigzag")
+
+    def test_any_order_still_valid(self):
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(clique(12), w=4, k=2, rng=rng)
+        h = DependencyGraph.build(inst)
+        for strategy in ("id", "degree"):
+            validate_coloring(h, greedy_color(h, order_vertices(h, strategy)))
+        validate_coloring(
+            h, greedy_color(h, order_vertices(h, "random", rng))
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for the dependency graph H (§2.3)."""
+
+import pytest
+
+from repro.core import DependencyGraph, Instance, Transaction
+from repro.network import clique, line
+
+
+def build(net, txns, homes):
+    return DependencyGraph.build(Instance(net, txns, homes))
+
+
+class TestBuild:
+    def test_sharing_creates_edge_with_distance_weight(self):
+        inst = Instance(
+            line(6),
+            [Transaction(0, 0, {0}), Transaction(1, 4, {0})],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst)
+        assert h.num_edges == 1
+        assert h.neighbors(0) == {1: 4}
+        assert h.neighbors(1) == {0: 4}
+
+    def test_no_sharing_no_edges(self):
+        inst = Instance(
+            clique(3),
+            [Transaction(0, 0, {0}), Transaction(1, 1, {1})],
+            {0: 0, 1: 1},
+        )
+        h = DependencyGraph.build(inst)
+        assert h.num_edges == 0
+        assert h.max_degree == 0
+        assert h.h_max == 1  # floor at 1 so Gamma math stays sane
+
+    def test_multiple_shared_objects_single_edge(self):
+        inst = Instance(
+            clique(3),
+            [Transaction(0, 0, {0, 1}), Transaction(1, 1, {0, 1})],
+            {0: 0, 1: 0},
+        )
+        h = DependencyGraph.build(inst)
+        assert h.num_edges == 1
+
+    def test_vertices_cover_all_transactions(self):
+        inst = Instance(
+            clique(4),
+            [Transaction(i, i, {0}) for i in range(4)],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst)
+        assert list(h.vertices()) == [0, 1, 2, 3]
+        assert h.num_vertices == 4
+
+    def test_hot_object_forms_clique_in_h(self):
+        inst = Instance(
+            clique(5),
+            [Transaction(i, i, {0}) for i in range(5)],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst)
+        assert h.num_edges == 10
+        assert h.max_degree == 4
+        assert h.degree(2) == 4
+
+    def test_weighted_degree(self):
+        inst = Instance(
+            line(10),
+            [
+                Transaction(0, 0, {0}),
+                Transaction(1, 5, {0}),
+                Transaction(2, 9, {0}),
+            ],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst)
+        assert h.h_max == 9
+        assert h.max_degree == 2
+        assert h.weighted_degree == 18
+
+    def test_restricted_build(self):
+        inst = Instance(
+            clique(4),
+            [Transaction(i, i, {0}) for i in range(4)],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst, tids=[0, 2])
+        assert h.num_vertices == 2
+        assert h.num_edges == 1
+        with pytest.raises(KeyError):
+            h.neighbors(1)
+
+    def test_restricted_build_uses_global_distances(self):
+        inst = Instance(
+            line(8),
+            [Transaction(0, 0, {0}), Transaction(1, 7, {0})],
+            {0: 0},
+        )
+        h = DependencyGraph.build(inst, tids=[0, 1])
+        assert h.neighbors(0)[1] == 7

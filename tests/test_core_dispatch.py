@@ -1,0 +1,84 @@
+"""Unit tests for scheduler dispatch and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    available_schedulers,
+    get_scheduler,
+    schedule_instance,
+    scheduler_for,
+)
+from repro.core.cluster import ClusterScheduler
+from repro.core.greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
+from repro.core.grid import GridScheduler
+from repro.core.line import LineScheduler
+from repro.core.star import StarScheduler
+from repro.errors import SchedulingError
+from repro.network import (
+    butterfly,
+    clique,
+    cluster,
+    ddim_grid,
+    grid,
+    hypercube,
+    line,
+    star,
+)
+from repro.network.graph import Network
+from repro.workloads import random_k_subsets
+
+
+CASES = [
+    (clique(8), CliqueScheduler),
+    (hypercube(3), DiameterScheduler),
+    (butterfly(2), DiameterScheduler),
+    (ddim_grid([2, 2, 2]), DiameterScheduler),
+    (line(12), LineScheduler),
+    (grid(4), GridScheduler),
+    (cluster(3, 4), ClusterScheduler),
+    (star(3, 5), StarScheduler),
+]
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "net,cls", CASES, ids=[n.topology.name for n, _ in CASES]
+    )
+    def test_scheduler_for_matches_topology(self, net, cls):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(net, w=max(2, net.n // 2), k=2, rng=rng)
+        assert isinstance(scheduler_for(inst), cls)
+
+    def test_generic_falls_back_to_greedy(self):
+        net = Network(3, [(0, 1, 1), (1, 2, 1)])
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(net, w=2, k=1, rng=rng)
+        assert isinstance(scheduler_for(inst), GreedyScheduler)
+
+    @pytest.mark.parametrize(
+        "net,cls", CASES, ids=[n.topology.name for n, _ in CASES]
+    )
+    def test_schedule_instance_end_to_end(self, net, cls):
+        rng = np.random.default_rng(2)
+        inst = random_k_subsets(net, w=max(2, net.n // 2), k=2, rng=rng)
+        s = schedule_instance(inst, rng)
+        s.validate()
+
+
+class TestRegistry:
+    def test_expected_names_registered(self):
+        names = available_schedulers()
+        for expected in (
+            "greedy", "clique", "diameter", "line", "grid", "cluster",
+            "star", "sequential", "random-order", "tsp-order",
+        ):
+            assert expected in names
+
+    def test_get_scheduler_by_name(self):
+        assert isinstance(get_scheduler("line"), LineScheduler)
+        assert isinstance(get_scheduler("greedy", order="degree"), GreedyScheduler)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            get_scheduler("does-not-exist")

@@ -1,0 +1,122 @@
+"""Unit tests for the greedy scheduler (§2.3, Theorem 1, §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CliqueScheduler,
+    DiameterScheduler,
+    GreedyScheduler,
+    Instance,
+    Transaction,
+)
+from repro.core.greedy import positioning_offset
+from repro.network import clique, hypercube, line
+from repro.sim import execute
+from repro.workloads import random_k_subsets
+
+
+class TestGreedyScheduler:
+    def test_feasible_on_random_clique(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(20), w=8, k=3, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        s.validate()
+        execute(s)
+
+    def test_meta_records_coloring_stats(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        assert s.meta["scheduler"] == "greedy"
+        assert s.meta["colors_used"] >= 1
+        assert s.meta["h_max"] >= 1
+
+    def test_makespan_within_gamma_plus_offset(self):
+        rng = np.random.default_rng(2)
+        inst = random_k_subsets(clique(16), w=6, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        bound = GreedyScheduler.color_bound(inst) + s.meta["offset"]
+        assert s.makespan <= bound
+
+    def test_conflict_free_commits(self):
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(clique(12), w=3, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        by_time: dict[int, set[int]] = {}
+        for t in inst.transactions:
+            ct = s.time_of(t.tid)
+            objs = by_time.setdefault(ct, set())
+            assert not (objs & t.objects), "two commits share an object at one step"
+            objs |= t.objects
+
+    def test_singleton_instance(self):
+        inst = Instance(clique(2), [Transaction(0, 0, {0})], {0: 0})
+        s = GreedyScheduler().schedule(inst)
+        assert s.makespan == 1
+
+    def test_remote_home_shifts_schedule(self):
+        # object homed far from its only user: offset must cover the trip
+        inst = Instance(line(10), [Transaction(0, 9, {0})], {0: 0})
+        s = GreedyScheduler().schedule(inst)
+        s.validate()
+        assert s.makespan >= 9
+
+    def test_order_strategies_all_feasible(self):
+        rng = np.random.default_rng(4)
+        inst = random_k_subsets(clique(15), w=5, k=2, rng=rng)
+        for order in ("id", "degree"):
+            GreedyScheduler(order=order).schedule(inst).validate()
+        GreedyScheduler(order="random").schedule(inst, rng).validate()
+
+
+class TestPositioningOffset:
+    def test_zero_when_objects_at_first_users(self):
+        inst = Instance(
+            clique(3),
+            [Transaction(0, 0, {0}), Transaction(1, 1, {0})],
+            {0: 0},
+        )
+        colors = {0: 1, 1: 2}
+        assert positioning_offset(inst, colors) == 0
+
+    def test_covers_longest_first_leg(self):
+        inst = Instance(line(8), [Transaction(0, 7, {0})], {0: 0})
+        assert positioning_offset(inst, {0: 1}) == 6  # 7 - colour 1
+
+    def test_ignores_unused_objects(self):
+        inst = Instance(
+            clique(3), [Transaction(0, 0, {0})], {0: 0, 9: 2}
+        )
+        assert positioning_offset(inst, {0: 1}) == 0
+
+
+class TestTheoremBounds:
+    def test_clique_thm1_colour_bound(self):
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(clique(24), w=8, k=2, rng=rng)
+        s = CliqueScheduler().schedule(inst)
+        # k*ell + 1 colour classes and hmax = 1 on a clique
+        assert s.makespan <= CliqueScheduler.theorem_bound(inst) + s.meta["offset"]
+
+    def test_clique_ratio_at_most_k_plus_constant(self):
+        rng = np.random.default_rng(6)
+        k = 3
+        inst = random_k_subsets(clique(32), w=8, k=k, rng=rng)
+        s = CliqueScheduler().schedule(inst)
+        ell = inst.max_load
+        # load lower bound: ell commits spaced >= 1
+        assert s.makespan <= (k * ell + 1) + 1
+        assert s.makespan / max(ell, 1) <= k + 2
+
+    def test_diameter_bound_on_hypercube(self):
+        rng = np.random.default_rng(7)
+        inst = random_k_subsets(hypercube(4), w=8, k=2, rng=rng)
+        s = DiameterScheduler().schedule(inst)
+        s.validate()
+        assert s.makespan <= DiameterScheduler.theorem_bound(inst) + s.meta["offset"]
+
+    def test_registered_names(self):
+        assert GreedyScheduler.name == "greedy"
+        assert CliqueScheduler.name == "clique"
+        assert DiameterScheduler.name == "diameter"

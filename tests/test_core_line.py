@@ -1,0 +1,141 @@
+"""Unit tests for the line scheduler (§4, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, LineScheduler, Transaction
+from repro.core.line import line_walk_length
+from repro.errors import TopologyError
+from repro.network import clique, line
+from repro.sim import execute
+from repro.workloads import line_span_instance, random_k_subsets
+
+
+class TestWalkLength:
+    def test_home_inside_span(self):
+        assert line_walk_length(5, 2, 8) == 6 + 3  # span 6, nearer end 3
+
+    def test_home_at_end(self):
+        assert line_walk_length(2, 2, 8) == 6
+        assert line_walk_length(8, 2, 8) == 6
+
+    def test_home_left_of_span(self):
+        assert line_walk_length(0, 3, 7) == 7
+
+    def test_home_right_of_span(self):
+        assert line_walk_length(9, 3, 7) == 6
+
+    def test_single_point(self):
+        assert line_walk_length(4, 4, 4) == 0
+
+
+class TestLineScheduler:
+    def test_requires_line_topology(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(8), w=4, k=2, rng=rng)
+        with pytest.raises(TopologyError):
+            LineScheduler().schedule(inst)
+
+    def test_feasible_on_random_instances(self):
+        rng = np.random.default_rng(1)
+        for n in (8, 32, 100):
+            inst = random_k_subsets(line(n), w=max(2, n // 4), k=2, rng=rng)
+            s = LineScheduler().schedule(inst)
+            s.validate()
+            execute(s)
+
+    def test_theorem2_four_ell_bound(self):
+        rng = np.random.default_rng(2)
+        for span in (3, 7, 15):
+            inst = line_span_instance(line(64), w=8, k=2, max_span=span, rng=rng)
+            s = LineScheduler().schedule(inst)
+            s.validate()
+            ell = LineScheduler.ell(inst)
+            assert s.makespan <= 4 * ell
+            assert s.makespan <= LineScheduler.theorem_bound(inst)
+
+    def test_two_phases_even_odd_blocks(self):
+        # objects spanning <= ell keep same-phase blocks independent;
+        # check commits within one block increase left to right
+        rng = np.random.default_rng(3)
+        inst = line_span_instance(line(40), w=6, k=2, max_span=7, rng=rng)
+        s = LineScheduler().schedule(inst)
+        ell = s.meta["ell"]
+        by_block: dict[int, list[tuple[int, int]]] = {}
+        for t in inst.transactions:
+            by_block.setdefault(t.node // ell, []).append(
+                (t.node, s.time_of(t.tid))
+            )
+        for block_nodes in by_block.values():
+            block_nodes.sort()
+            times = [ct for _, ct in block_nodes]
+            assert times == sorted(times)
+
+    def test_parallelism_across_same_phase_blocks(self):
+        # disjoint neighbour pairs => ell small => blocks run concurrently
+        txns = [Transaction(i, i, {i // 2}) for i in range(16)]
+        homes = {i: 2 * i for i in range(8)}
+        inst = Instance(line(16), txns, homes)
+        s = LineScheduler().schedule(inst)
+        s.validate()
+        # far better than sequential (16 steps)
+        assert s.makespan <= 6
+
+    def test_single_block_when_ell_covers_line(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 15, {0})]
+        inst = Instance(line(16), txns, {0: 0})
+        s = LineScheduler().schedule(inst)
+        s.validate()
+        assert s.meta["ell"] == 15
+        assert s.makespan <= 4 * 15
+
+    def test_meta_phase_markers(self):
+        rng = np.random.default_rng(4)
+        inst = random_k_subsets(line(24), w=4, k=2, rng=rng)
+        s = LineScheduler().schedule(inst)
+        assert s.meta["phase1_end"] <= s.meta["phase2_end"]
+        assert s.meta["ell"] >= 1
+
+    def test_object_never_needed_by_two_same_phase_blocks(self):
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(line(50), w=10, k=2, rng=rng)
+        s = LineScheduler().schedule(inst)
+        ell = s.meta["ell"]
+        for obj in inst.objects:
+            users = inst.users(obj)
+            blocks = {t.node // ell for t in users}
+            even = sorted(b for b in blocks if b % 2 == 0)
+            odd = sorted(b for b in blocks if b % 2 == 1)
+            assert len(even) <= 1, f"object {obj} spans even blocks {even}"
+            assert len(odd) <= 1, f"object {obj} spans odd blocks {odd}"
+
+
+class TestLineBoundaryCases:
+    def test_single_node_line(self):
+        inst = Instance(line(1), [Transaction(0, 0, {0})], {0: 0})
+        s = LineScheduler().schedule(inst)
+        assert s.makespan == 1
+
+    def test_two_node_line(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 1, {0})]
+        inst = Instance(line(2), txns, {0: 0})
+        s = LineScheduler().schedule(inst)
+        s.validate()
+        assert s.makespan <= 4  # ell = 1, 4*ell bound
+
+    def test_sparse_transactions(self):
+        rng = np.random.default_rng(14)
+        inst = random_k_subsets(line(40), w=5, k=2, rng=rng, density=0.4)
+        s = LineScheduler().schedule(inst)
+        s.validate()
+        execute(s)
+
+    def test_far_home_outside_spans(self):
+        # object homed at the right end, all users on the left: the
+        # repositioning period must absorb the long first leg
+        txns = [Transaction(0, 0, {0}), Transaction(1, 3, {0})]
+        inst = Instance(line(30), txns, {0: 29})
+        s = LineScheduler().schedule(inst)
+        s.validate()
+        execute(s)
+        assert s.makespan >= 26  # at least the trip from node 29

@@ -1,0 +1,157 @@
+"""Unit tests for Transaction and Instance (repro.core model layer)."""
+
+import pytest
+
+from repro.core import Instance, Transaction
+from repro.errors import InstanceError
+from repro.network import clique, line
+
+
+class TestTransaction:
+    def test_fields_normalized(self):
+        t = Transaction("3", "5", ["1", 2, 2])
+        assert t.tid == 3
+        assert t.node == 5
+        assert t.objects == frozenset({1, 2})
+        assert t.k == 2
+
+    def test_uses(self):
+        t = Transaction(0, 0, {4})
+        assert t.uses(4)
+        assert not t.uses(5)
+
+    def test_rejects_empty_object_set(self):
+        with pytest.raises(InstanceError, match=">= 1 object"):
+            Transaction(0, 0, [])
+
+    def test_frozen(self):
+        t = Transaction(0, 0, {1})
+        with pytest.raises(AttributeError):
+            t.node = 3
+
+    def test_ordering_by_tid(self):
+        assert Transaction(1, 0, {1}) < Transaction(2, 1, {1})
+
+    def test_hashable_and_equal_on_identity_fields(self):
+        a = Transaction(1, 0, {1, 2})
+        b = Transaction(1, 0, {9})
+        # order=True compares (tid, node); objects excluded from compare
+        assert a == b
+        assert hash(a) is not None
+
+
+class TestInstanceValidation:
+    def test_minimal_instance(self):
+        inst = Instance(clique(2), [Transaction(0, 0, {0})], {0: 1})
+        assert inst.m == 1
+        assert inst.num_objects == 1
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(InstanceError, match="at least one"):
+            Instance(clique(2), [], {})
+
+    def test_rejects_duplicate_tid(self):
+        with pytest.raises(InstanceError, match="duplicate"):
+            Instance(
+                clique(3),
+                [Transaction(0, 0, {0}), Transaction(0, 1, {0})],
+                {0: 0},
+            )
+
+    def test_rejects_two_transactions_per_node(self):
+        with pytest.raises(InstanceError, match="more than one"):
+            Instance(
+                clique(3),
+                [Transaction(0, 1, {0}), Transaction(1, 1, {0})],
+                {0: 0},
+            )
+
+    def test_rejects_node_out_of_graph(self):
+        with pytest.raises(InstanceError, match="outside graph"):
+            Instance(clique(2), [Transaction(0, 7, {0})], {0: 0})
+
+    def test_rejects_homeless_object(self):
+        with pytest.raises(InstanceError, match="no home"):
+            Instance(clique(2), [Transaction(0, 0, {3})], {0: 0})
+
+    def test_rejects_home_out_of_graph(self):
+        with pytest.raises(InstanceError, match="outside graph"):
+            Instance(clique(2), [Transaction(0, 0, {0})], {0: 9})
+
+    def test_rejects_more_transactions_than_nodes(self):
+        with pytest.raises(InstanceError, match="exceed"):
+            Instance(
+                clique(1),
+                [Transaction(0, 0, {0}), Transaction(1, 0, {0})],
+                {0: 0},
+            )
+
+
+class TestInstanceAccessors:
+    def make(self):
+        txns = [
+            Transaction(0, 0, {0, 1}),
+            Transaction(1, 1, {1}),
+            Transaction(2, 2, {1, 2, 3}),
+        ]
+        homes = {0: 0, 1: 1, 2: 2, 3: 2, 9: 3}
+        return Instance(clique(5), txns, homes)
+
+    def test_objects_sorted_includes_unused(self):
+        assert self.make().objects == (0, 1, 2, 3, 9)
+
+    def test_users_and_load(self):
+        inst = self.make()
+        assert {t.tid for t in inst.users(1)} == {0, 1, 2}
+        assert inst.load(1) == 3
+        assert inst.load(9) == 0
+        assert inst.users(9) == ()
+
+    def test_max_load_and_max_k(self):
+        inst = self.make()
+        assert inst.max_load == 3
+        assert inst.max_k == 3
+
+    def test_paper_m(self):
+        inst = self.make()
+        assert inst.paper_m == max(5, 5)
+
+    def test_lookup_by_tid_and_node(self):
+        inst = self.make()
+        assert inst.transaction(2).node == 2
+        assert inst.transaction_at(1).tid == 1
+        assert inst.transaction_at(4) is None
+
+    def test_homes_at_requesters_true(self):
+        # every used object is homed at one of its requesters (unused
+        # object 9 does not participate in the check)
+        assert self.make().homes_at_requesters is True
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(clique(2), txns, {0: 0})
+        assert inst.homes_at_requesters is True
+
+    def test_homes_at_requesters_false(self):
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(clique(2), txns, {0: 1})
+        assert inst.homes_at_requesters is False
+
+
+class TestRestrict:
+    def test_keeps_subset_and_repositions(self):
+        txns = [
+            Transaction(0, 0, {0}),
+            Transaction(1, 1, {0, 1}),
+            Transaction(2, 2, {1}),
+        ]
+        inst = Instance(line(4), txns, {0: 0, 1: 2})
+        sub = inst.restrict([1, 2], object_positions={0: 3})
+        assert sub.m == 2
+        assert sub.home(0) == 3  # overridden
+        assert sub.home(1) == 2  # inherited
+        assert {t.tid for t in sub.transactions} == {1, 2}
+
+    def test_restrict_drops_unneeded_objects(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 1, {1})]
+        inst = Instance(line(3), txns, {0: 0, 1: 1})
+        sub = inst.restrict([0])
+        assert sub.objects == (0,)

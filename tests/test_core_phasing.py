@@ -1,0 +1,85 @@
+"""Unit tests for phase composition (repro.core.phasing)."""
+
+import numpy as np
+
+from repro.core import GreedyScheduler, Instance, Schedule, Transaction
+from repro.core.phasing import PhaseState, last_user_positions, run_phase
+from repro.network import line
+from repro.sim import execute
+from repro.workloads import random_k_subsets
+
+
+class TestPhaseState:
+    def test_initial_state(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(line(8), w=3, k=2, rng=rng)
+        state = PhaseState(inst)
+        assert state.time == 0
+        assert state.positions == inst.object_homes
+        assert state.commits == {}
+
+
+class TestRunPhase:
+    def test_two_phases_compose_feasibly(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(line(12), w=4, k=2, rng=rng)
+        state = PhaseState(inst)
+        tids = [t.tid for t in inst.transactions]
+        run_phase(state, tids[:6], GreedyScheduler())
+        t_mid = state.time
+        run_phase(state, tids[6:], GreedyScheduler())
+        assert state.time >= t_mid
+        s = state.finish()
+        s.validate()
+        execute(s)
+
+    def test_phase_skips_already_committed(self):
+        rng = np.random.default_rng(2)
+        inst = random_k_subsets(line(6), w=2, k=1, rng=rng)
+        state = PhaseState(inst)
+        tids = [t.tid for t in inst.transactions]
+        run_phase(state, tids, GreedyScheduler())
+        before = dict(state.commits)
+        assert run_phase(state, tids, GreedyScheduler()) is None
+        assert state.commits == before
+
+    def test_empty_tids_returns_none(self):
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(line(6), w=2, k=1, rng=rng)
+        state = PhaseState(inst)
+        assert run_phase(state, [], GreedyScheduler()) is None
+
+    def test_positions_follow_objects(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 5, {0})]
+        inst = Instance(line(6), txns, {0: 0})
+        state = PhaseState(inst)
+        run_phase(state, [0, 1], GreedyScheduler())
+        assert state.positions[0] == 5  # rode to its last user
+
+    def test_commit_times_offset_by_phase_start(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 3, {1})]
+        inst = Instance(line(4), txns, {0: 0, 1: 3})
+        state = PhaseState(inst)
+        run_phase(state, [0], GreedyScheduler())
+        first_end = state.time
+        run_phase(state, [1], GreedyScheduler())
+        assert state.commits[1] > first_end - 1
+        assert state.commits[1] == first_end + 1
+
+
+class TestLastUserPositions:
+    def test_unused_objects_keep_position(self):
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(line(4), txns, {0: 0, 1: 3})
+        s = Schedule(inst, {0: 1})
+        positions = {0: 0, 1: 3}
+        last_user_positions(s, positions)
+        assert positions == {0: 0, 1: 3}
+
+    def test_used_objects_move(self):
+        txns = [Transaction(0, 2, {0})]
+        inst = Instance(line(4), txns, {0: 0})
+        s = Schedule(inst, {0: 2})
+        positions = {0: 0}
+        last_user_positions(s, positions)
+        assert positions[0] == 2

@@ -1,0 +1,168 @@
+"""Unit tests for the activation-round engine (Algorithm 1 core)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Schedule, Transaction
+from repro.core.rounds import (
+    RoundGroup,
+    activation_rounds,
+    theoretical_psi,
+    theoretical_zeta,
+)
+from repro.errors import SchedulingError
+from repro.network import cluster
+from repro.sim import execute
+
+
+def simple_setup(alpha=3, beta=3, gamma=4, seed=0):
+    net = cluster(alpha, beta, gamma=gamma)
+    clusters = net.topology.require("clusters")
+    rng = np.random.default_rng(seed)
+    # one shared object across all clusters plus per-cluster locals
+    txns = []
+    homes = {0: clusters[0][0]}
+    tid = 0
+    for g, members in enumerate(clusters):
+        for i, node in enumerate(members):
+            obj = 0 if i == 0 else 100 + g
+            txns.append(Transaction(tid, node, {obj}))
+            homes.setdefault(obj, node)
+            tid += 1
+    inst = Instance(net, txns, homes)
+    groups = [RoundGroup(gid=g, nodes=tuple(m)) for g, m in enumerate(clusters)]
+    return inst, groups, rng, gamma
+
+
+class TestActivationRounds:
+    def test_all_transactions_commit(self):
+        inst, groups, rng, gamma = simple_setup()
+        res = activation_rounds(
+            inst, [t.tid for t in inst.transactions], inst.object_homes,
+            0, groups, travel=gamma + 2, rng=rng,
+        )
+        assert set(res.commits) == {t.tid for t in inst.transactions}
+
+    def test_resulting_schedule_feasible(self):
+        inst, groups, rng, gamma = simple_setup(seed=1)
+        res = activation_rounds(
+            inst, [t.tid for t in inst.transactions], inst.object_homes,
+            0, groups, travel=gamma + 2, rng=rng,
+        )
+        s = Schedule(inst, res.commits)
+        s.validate()
+        execute(s)
+
+    def test_nonzero_start_time_shifts_commits(self):
+        inst, groups, _, gamma = simple_setup(seed=2)
+        tids = [t.tid for t in inst.transactions]
+        r0 = activation_rounds(
+            inst, tids, inst.object_homes, 0, groups,
+            travel=gamma + 2, rng=np.random.default_rng(5),
+        )
+        r100 = activation_rounds(
+            inst, tids, inst.object_homes, 100, groups,
+            travel=gamma + 2, rng=np.random.default_rng(5),
+        )
+        for tid in tids:
+            assert r100.commits[tid] == r0.commits[tid] + 100
+
+    def test_round_duration_matches_paper(self):
+        inst, groups, rng, gamma = simple_setup()
+        res = activation_rounds(
+            inst, [t.tid for t in inst.transactions], inst.object_homes,
+            0, groups, travel=gamma + 2, rng=rng,
+        )
+        beta = 3
+        # span of a beta-clique group is beta - 1, so duration is
+        # travel + span + 1 = gamma + 2 + beta - 1 + 1 = beta + gamma + 2
+        assert res.round_duration == beta + gamma + 2
+
+    def test_positions_updated_to_last_user(self):
+        inst, groups, rng, gamma = simple_setup(seed=3)
+        res = activation_rounds(
+            inst, [t.tid for t in inst.transactions], inst.object_homes,
+            0, groups, travel=gamma + 2, rng=rng,
+        )
+        # the shared object's final position is its last user's node
+        last_tid = max(
+            (t.tid for t in inst.transactions if 0 in t.objects),
+            key=lambda tid: res.commits[tid],
+        )
+        assert res.positions[0] == inst.transaction(last_tid).node
+
+    def test_fallback_on_tiny_round_cap(self):
+        inst, groups, rng, gamma = simple_setup(seed=4)
+        res = activation_rounds(
+            inst, [t.tid for t in inst.transactions], inst.object_homes,
+            0, groups, travel=gamma + 2, rng=rng, max_rounds_per_phase=0,
+        )
+        assert res.fallback_count == len(inst.transactions)
+        Schedule(inst, res.commits).validate()
+
+    def test_rejects_transaction_outside_groups(self):
+        inst, groups, rng, gamma = simple_setup()
+        with pytest.raises(SchedulingError, match="outside all groups"):
+            activation_rounds(
+                inst, [t.tid for t in inst.transactions], inst.object_homes,
+                0, groups[:-1], travel=gamma + 2, rng=rng,
+            )
+
+    def test_rejects_nonpositive_travel(self):
+        inst, groups, rng, _ = simple_setup()
+        with pytest.raises(SchedulingError, match="travel"):
+            activation_rounds(
+                inst, [t.tid for t in inst.transactions], inst.object_homes,
+                0, groups, travel=0, rng=rng,
+            )
+
+    def test_subset_of_tids_only(self):
+        inst, groups, rng, gamma = simple_setup(seed=5)
+        subset = [t.tid for t in inst.transactions][:4]
+        res = activation_rounds(
+            inst, subset, inst.object_homes, 0, groups,
+            travel=gamma + 2, rng=rng,
+        )
+        assert set(res.commits) == set(subset)
+
+    def test_local_objects_enable_in_first_round(self):
+        # when every object is group-local, all transactions are enabled in
+        # round one of their phase (sigma = 1 -> psi = 1 -> one round)
+        net = cluster(3, 3, gamma=4)
+        clusters = net.topology.require("clusters")
+        txns = []
+        homes = {}
+        for g, members in enumerate(clusters):
+            for i, node in enumerate(members):
+                obj = 10 * g + i
+                txns.append(Transaction(len(txns), node, {obj}))
+                homes[obj] = node
+        inst = Instance(net, txns, homes)
+        groups = [
+            RoundGroup(gid=g, nodes=tuple(m)) for g, m in enumerate(clusters)
+        ]
+        res = activation_rounds(
+            inst, [t.tid for t in inst.transactions], homes, 0, groups,
+            travel=6, rng=np.random.default_rng(0),
+        )
+        assert res.rounds_used == 1
+        assert res.fallback_count == 0
+
+
+class TestTheoryFormulas:
+    def test_psi_at_least_one(self):
+        assert theoretical_psi(0, 10) == 1
+
+    def test_psi_formula(self):
+        import math
+        sigma, m = 500, 100
+        assert theoretical_psi(sigma, m) == math.ceil(
+            sigma / (24 * math.log(m))
+        )
+
+    def test_zeta_formula(self):
+        import math
+        m = 50
+        assert theoretical_zeta(1, m) == 2 * 40 * math.ceil(
+            math.log(m) ** 2
+        )

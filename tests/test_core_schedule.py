@@ -1,0 +1,111 @@
+"""Unit tests for Schedule: itineraries, feasibility, costs."""
+
+import pytest
+
+from repro.core import Instance, Schedule, Transaction
+from repro.errors import InfeasibleScheduleError
+from repro.network import clique, line
+
+
+def two_txn_line():
+    """Two transactions sharing object 0 on a 6-line (distance 4)."""
+    txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+    return Instance(line(6), txns, {0: 0})
+
+
+class TestConstruction:
+    def test_requires_all_commit_times(self):
+        inst = two_txn_line()
+        with pytest.raises(InfeasibleScheduleError, match="no commit"):
+            Schedule(inst, {0: 1})
+
+    def test_rejects_nonpositive_times(self):
+        inst = two_txn_line()
+        with pytest.raises(InfeasibleScheduleError, match=">= 1"):
+            Schedule(inst, {0: 0, 1: 5})
+
+    def test_makespan(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 1, 1: 5})
+        assert s.makespan == 5
+        assert s.time_of(1) == 5
+
+
+class TestItineraries:
+    def test_home_prefix_then_commit_order(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 2, 1: 7})
+        it = s.itinerary(0)
+        assert [(v.time, v.node, v.tid) for v in it] == [
+            (0, 0, -1),
+            (2, 0, 0),
+            (7, 4, 1),
+        ]
+
+    def test_unused_object_itinerary_is_home_only(self):
+        txns = [Transaction(0, 0, {0})]
+        inst = Instance(clique(3), txns, {0: 0, 5: 2})
+        s = Schedule(inst, {0: 1})
+        assert len(s.itinerary(5)) == 1
+
+    def test_itineraries_cover_all_objects(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 1, 1: 5})
+        assert {obj for obj, _ in s.itineraries()} == {0}
+
+
+class TestFeasibility:
+    def test_tight_schedule_is_feasible(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 1, 1: 5})  # 4 steps for distance 4
+        s.validate()
+        assert s.is_feasible()
+
+    def test_too_tight_gap_rejected(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 1, 1: 4})  # only 3 steps for distance 4
+        with pytest.raises(InfeasibleScheduleError, match="needs 4"):
+            s.validate()
+        assert not s.is_feasible()
+
+    def test_first_leg_from_home_checked(self):
+        txns = [Transaction(0, 4, {0})]
+        inst = Instance(line(6), txns, {0: 0})
+        with pytest.raises(InfeasibleScheduleError):
+            Schedule(inst, {0: 2}).validate()
+        Schedule(inst, {0: 4}).validate()
+
+    def test_simultaneous_conflicting_commits_rejected(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 3, 1: 3})
+        with pytest.raises(InfeasibleScheduleError):
+            s.validate()
+
+    def test_non_conflicting_simultaneous_commits_ok(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 1, {1})]
+        inst = Instance(clique(3), txns, {0: 0, 1: 1})
+        Schedule(inst, {0: 1, 1: 1}).validate()
+
+    def test_home_equal_to_later_user_node(self):
+        # object homed at node 4, used first at node 0, then at node 4
+        txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+        inst = Instance(line(6), txns, {0: 4})
+        # t=4: reach node 0; then back to node 4 by t=8
+        Schedule(inst, {0: 4, 1: 8}).validate()
+        with pytest.raises(InfeasibleScheduleError):
+            Schedule(inst, {0: 4, 1: 6}).validate()
+
+
+class TestCosts:
+    def test_communication_cost_sums_legs(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 1, 1: 9})
+        assert s.communication_cost == 4  # home->0 is zero, 0->4 is 4
+
+    def test_meta_round_trips_to_dict(self):
+        inst = two_txn_line()
+        s = Schedule(inst, {0: 1, 1: 5}, meta={"scheduler": "x"})
+        d = s.as_dict()
+        assert d["makespan"] == 5
+        assert d["meta.scheduler"] == "x"
+        assert d["transactions"] == 2

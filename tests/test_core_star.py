@@ -1,0 +1,162 @@
+"""Unit tests for the star scheduler (§7, Theorem 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, StarScheduler, Transaction
+from repro.core.star import ray_segments
+from repro.errors import TopologyError
+from repro.network import clique, star
+from repro.sim import execute
+from repro.workloads import partitioned_instance, random_k_subsets
+
+
+class TestRaySegments:
+    def test_exponential_lengths(self):
+        # beta = 7: segments at depths 1, 2-3, 4-7 -> positions [0,1), [1,3), [3,7)
+        assert ray_segments(7) == [(0, 1), (1, 3), (3, 7)]
+
+    def test_truncated_last_segment(self):
+        assert ray_segments(5) == [(0, 1), (1, 3), (3, 5)]
+
+    def test_beta_one(self):
+        assert ray_segments(1) == [(0, 1)]
+
+    def test_covers_every_position_once(self):
+        for beta in (1, 2, 3, 7, 10, 31, 33):
+            covered = []
+            for start, stop in ray_segments(beta):
+                covered.extend(range(start, stop))
+            assert covered == list(range(beta))
+
+
+class TestStarScheduler:
+    def test_requires_star_topology(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(8), w=4, k=2, rng=rng)
+        with pytest.raises(TopologyError):
+            StarScheduler().schedule(inst)
+
+    @pytest.mark.parametrize("alpha,beta", [(2, 3), (3, 7), (5, 10), (8, 15)])
+    def test_feasible_across_geometries(self, alpha, beta):
+        rng = np.random.default_rng(alpha * 100 + beta)
+        net = star(alpha, beta)
+        inst = random_k_subsets(net, w=max(4, net.n // 4), k=2, rng=rng)
+        s = StarScheduler().schedule(inst, rng)
+        s.validate()
+        execute(s)
+
+    def test_center_transaction_commits_first(self):
+        net = star(3, 7)
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(net, w=8, k=2, rng=rng)
+        s = StarScheduler().schedule(inst, rng)
+        center_t = inst.transaction_at(0)
+        assert center_t is not None
+        assert s.time_of(center_t.tid) == min(s.commit_times.values())
+
+    def test_periods_execute_in_ring_order(self):
+        net = star(4, 7)
+        rng = np.random.default_rng(2)
+        inst = random_k_subsets(net, w=8, k=2, rng=rng)
+        s = StarScheduler().schedule(inst, rng)
+        rays = net.topology.require("rays")
+        ring_of = {}
+        for ray in rays:
+            for seg_idx, (a, b) in enumerate(ray_segments(7)):
+                for node in ray[a:b]:
+                    ring_of[node] = seg_idx
+        windows: dict[int, tuple[int, int]] = {}
+        for t in inst.transactions:
+            if t.node == 0:
+                continue
+            ring = ring_of[t.node]
+            ct = s.time_of(t.tid)
+            lo, hi = windows.get(ring, (ct, ct))
+            windows[ring] = (min(lo, ct), max(hi, ct))
+        rings = sorted(windows)
+        for a, b in zip(rings, rings[1:]):
+            assert windows[a][1] < windows[b][0]
+
+    def test_ray_local_workload_fast(self):
+        net = star(6, 7)
+        rays = net.topology.require("rays")
+        rng = np.random.default_rng(3)
+        inst = partitioned_instance(
+            net, rays, objects_per_group=3, k=2, cross_fraction=0.0, rng=rng
+        )
+        s = StarScheduler().schedule(inst, rng)
+        s.validate()
+        # segments of each ring run in parallel: far below sequential 42
+        assert s.makespan < 42
+
+    def test_no_center_transaction(self):
+        net = star(2, 4)
+        txns = [Transaction(0, 1, {0}), Transaction(1, 5, {0})]
+        inst = Instance(net, txns, {0: 1})
+        s = StarScheduler().schedule(inst)
+        s.validate()
+
+    def test_meta_period_choices(self):
+        net = star(3, 7)
+        rng = np.random.default_rng(4)
+        inst = random_k_subsets(net, w=6, k=2, rng=rng)
+        s = StarScheduler().schedule(inst, rng)
+        assert s.meta["eta"] == 3
+        assert len(s.meta["period_choices"]) <= 3
+        assert all(
+            c.split(":")[1] in ("greedy", "rounds")
+            for c in s.meta["period_choices"]
+        )
+
+    def test_theorem_ratio_positive(self):
+        net = star(3, 7)
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(net, w=6, k=2, rng=rng)
+        assert StarScheduler.theorem_ratio(inst) > 0
+
+
+class TestStarTravelBudgetEdgeCases:
+    def test_object_homed_at_outer_end_needed_in_ring_one(self):
+        # the travel budget for ring 1 must cover a trip from the outer
+        # end of a ray (home) to the innermost segment
+        net = star(3, 15)
+        rays = net.topology.require("rays")
+        inner = rays[0][0]       # depth 1 of ray 0
+        outer = rays[1][-1]      # depth 15 of ray 1
+        txns = [
+            Transaction(0, inner, {0}),
+            Transaction(1, outer, {0}),
+        ]
+        inst = Instance(net, txns, {0: outer})
+        rng = np.random.default_rng(0)
+        s = StarScheduler().schedule(inst, rng)
+        s.validate()
+        execute(s)
+        # ring-1 commit must wait for the cross-star trip (>= 16)
+        assert s.time_of(0) >= net.dist(outer, inner)
+
+    def test_all_objects_cross_rings(self):
+        # objects shared between the innermost and outermost rings force
+        # every period to re-position; all must stay feasible
+        net = star(4, 15)
+        rays = net.topology.require("rays")
+        txns = []
+        homes = {}
+        tid = 0
+        for obj, ray in enumerate(rays):
+            txns.append(Transaction(tid, ray[0], {obj})); tid += 1
+            txns.append(Transaction(tid, ray[-1], {obj})); tid += 1
+            homes[obj] = ray[0]
+        inst = Instance(net, txns, homes)
+        rng = np.random.default_rng(1)
+        s = StarScheduler().schedule(inst, rng)
+        s.validate()
+        execute(s)
+
+    def test_single_ray_degenerates_to_path(self):
+        net = star(1, 8)
+        rng = np.random.default_rng(2)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        s = StarScheduler().schedule(inst, rng)
+        s.validate()

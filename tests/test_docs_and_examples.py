@@ -1,0 +1,76 @@
+"""Documentation and example smoke tests.
+
+Keeps the README quickstart snippet executable and every example script
+runnable -- documentation that cannot rot silently.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+class TestReadme:
+    def test_quickstart_snippet_executes(self):
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README must contain a python quickstart block"
+        exec(compile(blocks[0], "<readme>", "exec"), {})
+
+    def test_mentions_all_deliverables(self):
+        text = (ROOT / "README.md").read_text()
+        for needle in (
+            "EXPERIMENTS.md",
+            "DESIGN.md",
+            "pytest tests/",
+            "benchmarks/",
+            "examples/",
+        ):
+            assert needle in text
+
+    def test_docs_exist_and_reference_sections(self):
+        model = (ROOT / "docs" / "MODEL.md").read_text()
+        algos = (ROOT / "docs" / "ALGORITHMS.md").read_text()
+        assert "feasible" in model
+        for section in ("§2.3", "§4", "§5", "§6", "§7", "§8"):
+            assert section in algos, f"ALGORITHMS.md must cover {section}"
+
+    def test_tutorial_code_blocks_execute(self):
+        text = (ROOT / "docs" / "TUTORIAL.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert len(blocks) >= 7, "tutorial should stay substantive"
+        # blocks share one namespace, exactly as a reader follows along
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+
+
+class TestDesignAndExperimentsDocs:
+    def test_design_lists_every_experiment(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for eid in [f"E{i}" for i in range(1, 16)]:
+            assert f"| {eid} " in text, f"DESIGN.md missing {eid}"
+
+    def test_experiments_md_has_verdicts(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert text.count("✅") >= 13
+        for eid in [f"E{i}" for i in range(1, 16)]:
+            assert f"| {eid} " in text, f"EXPERIMENTS.md missing {eid}"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script.name} produced no output"

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    InfeasibleScheduleError,
+    InstanceError,
+    ReproError,
+    SchedulingError,
+    TopologyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            InstanceError,
+            InfeasibleScheduleError,
+            TopologyError,
+            SchedulingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_one_except_clause_catches_library_failures(self):
+        from repro.core import Instance, Transaction
+        from repro.network import clique
+
+        caught = []
+        for bad in (
+            lambda: clique(0),
+            lambda: Instance(clique(2), [], {}),
+            lambda: Transaction(0, 0, []),
+        ):
+            try:
+                bad()
+            except ReproError as exc:
+                caught.append(type(exc).__name__)
+        assert caught == ["GraphError", "InstanceError", "InstanceError"]

@@ -1,0 +1,182 @@
+"""Tests for the experiment suite (quick mode) -- structure and claims.
+
+Beyond smoke-running each experiment, these check the *reproduced shape*:
+bounded normalized ratios where a theorem predicts them, winner columns,
+and the lower-bound experiments' gap growth.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import TITLES, experiment_ids, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {
+        eid: run_experiment(eid, seed=SEED, quick=True)
+        for eid in experiment_ids()
+    }
+
+
+class TestRegistry:
+    def test_sixteen_experiments(self):
+        assert experiment_ids() == [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+            "e11", "e12", "e13", "e14", "e15", "e16",
+        ]
+        assert set(EXPERIMENTS) == set(TITLES)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("e99")
+
+
+class TestTablesWellFormed:
+    def test_every_experiment_produces_rows(self, tables):
+        for eid, table in tables.items():
+            assert table.rows, f"{eid} produced no rows"
+            assert table.render()
+
+    def test_reproducible_with_same_seed(self):
+        a = run_experiment("e1", seed=3, quick=True)
+        b = run_experiment("e1", seed=3, quick=True)
+        assert a.rows == b.rows
+
+
+class TestClaims:
+    def test_e1_ratio_over_k_bounded(self, tables):
+        assert all(v <= 3.0 for v in tables["e1"].column("ratio_over_k"))
+
+    def test_e2_normalized_ratio_bounded(self, tables):
+        assert all(v <= 2.0 for v in tables["e2"].column("ratio_norm"))
+
+    def test_e3_constant_factor(self, tables):
+        assert all(v <= 6.0 for v in tables["e3"].column("ratio"))
+
+    def test_e3_fig1_within_four_ell(self, tables):
+        fig1 = [r for r in tables["e3"].rows if r["workload"] == "fig1"][0]
+        assert fig1["makespan"] <= fig1["four_ell"]
+
+    def test_e4_normalized_ratio_bounded(self, tables):
+        vals = [
+            v for v in tables["e4"].column("ratio_norm") if not math.isnan(v)
+        ]
+        assert vals and all(v <= 4.0 for v in vals)
+
+    def test_e5_sigma_one_is_cheap(self, tables):
+        local = [r for r in tables["e5"].rows if r["cross"] == 0.0]
+        assert local
+        for row in local:
+            assert row["sigma"] == 1.0
+            assert row["ratio_auto"] <= 1.5
+
+    def test_e5_auto_takes_min(self, tables):
+        # per trial, identical rng streams make auto exactly min(A1, A2);
+        # the table aggregates means and mean-of-minima <= min-of-means,
+        # so the cell-level guarantee is an inequality
+        for row in tables["e5"].rows:
+            assert row["mk_auto"] <= min(
+                row["mk_approach1"], row["mk_approach2"]
+            ) + 1e-9
+
+    def test_e6_normalized_ratio_bounded(self, tables):
+        assert all(v <= 3.0 for v in tables["e6"].column("ratio_norm"))
+
+    @pytest.mark.parametrize("eid", ["e7", "e8"])
+    def test_lower_bound_gap_grows(self, tables, eid):
+        rows = tables[eid].rows
+        gaps = [r["gap"] for r in rows]
+        assert gaps == sorted(gaps), f"{eid}: gap must grow with s"
+        assert gaps[-1] > gaps[0]
+
+    @pytest.mark.parametrize("eid", ["e7", "e8"])
+    def test_lemma10_tour_bound(self, tables, eid):
+        for row in tables[eid].rows:
+            assert row["max_tour"] <= row["tour_bound_5s2"]
+
+    def test_e9_paper_beats_random_order(self, tables):
+        by_topo: dict[str, dict[str, float]] = {}
+        for row in tables["e9"].rows:
+            by_topo.setdefault(row["topology"], {})[row["scheduler"]] = row[
+                "makespan"
+            ]
+        for topo, per in by_topo.items():
+            paper = [v for kname, v in per.items() if kname.startswith("paper:")]
+            assert paper, topo
+            # the paper scheduler should not be worse than the random-order
+            # baseline by more than 2x anywhere (it usually wins outright)
+            assert paper[0] <= 2.0 * per["random-order"] + 1
+
+    def test_e10_has_all_four_ablations(self, tables):
+        kinds = {r["ablation"] for r in tables["e10"].rows}
+        assert kinds == {
+            "grid-side", "cluster-ln-factor", "approach-crossover",
+            "compaction",
+        }
+
+    def test_e10_compaction_never_hurts(self, tables):
+        for row in tables["e10"].rows:
+            if row["ablation"] == "compaction":
+                assert row["ratio"] >= 1.0
+
+    def test_e9_compaction_dominates_plain(self, tables):
+        by_topo: dict[str, dict[str, float]] = {}
+        for row in tables["e9"].rows:
+            by_topo.setdefault(row["topology"], {})[row["scheduler"]] = row[
+                "makespan"
+            ]
+        for topo, per in by_topo.items():
+            plain = [v for k, v in per.items() if k.startswith("paper:")]
+            assert per["paper+compact"] <= plain[0] + 1e-9, topo
+
+    def test_e11_covers_all_policies(self, tables):
+        assert {r["policy"] for r in tables["e11"].rows} == {
+            "timestamp", "random-prio", "epoch-batch",
+        }
+        assert all(v >= 0 for v in tables["e11"].column("mean_response"))
+
+    def test_e12_bounds_bracket(self, tables):
+        for row in tables["e12"].rows:
+            assert row["cap1_lower_bound"] <= row["cap1_upper_bound"]
+            assert row["max_link_concurrency"] >= 1
+
+    def test_e13_inflation_within_ceil_phi(self, tables):
+        for row in tables["e13"].rows:
+            assert row["inflation"] <= math.ceil(row["phi"]) + 0.2
+
+    def test_e14_replication_speedup_shape(self, tables):
+        rows = tables["e14"].rows
+        # replication never hurts, and all-writes recovers the base model
+        assert all(r["speedup"] >= 0.99 for r in rows)
+        for row in rows:
+            if row["write_frac"] == 1.0:
+                assert abs(row["conflict_edges_ratio"] - 1.0) < 1e-9
+        # read-heavier -> at least as much speedup (per topology)
+        by_topo: dict[str, list] = {}
+        for r in rows:
+            by_topo.setdefault(r["topology"], []).append(
+                (r["write_frac"], r["speedup"])
+            )
+        for cells in by_topo.values():
+            cells.sort()
+            assert cells[0][1] >= cells[-1][1] - 0.05
+
+    def test_e15_hybrid_never_worst(self, tables):
+        for row in tables["e15"].rows:
+            assert row["cf_hybrid"] <= max(
+                row["cf_rpc"], row["cf_migration"]
+            ) + 1e-9
+
+    def test_e16_walk_placement_never_worse_ratio(self, tables):
+        by_topo: dict[str, dict[str, float]] = {}
+        for row in tables["e16"].rows:
+            by_topo.setdefault(row["topology"], {})[row["policy"]] = row[
+                "ratio"
+            ]
+        for per in by_topo.values():
+            assert per["walk-optimal"] <= per["random-requester"] + 0.25

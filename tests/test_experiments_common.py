@@ -1,0 +1,63 @@
+"""Unit tests for the shared experiment helpers."""
+
+import numpy as np
+
+from repro.core import GreedyScheduler
+from repro.experiments.common import Compacted, mean_evaluation, trial_ratios
+from repro.network import clique
+from repro.workloads import random_k_subsets
+
+
+class TestTrialRatios:
+    def test_aggregates_expected_keys(self):
+        net = clique(12)
+        cell = trial_ratios(
+            "tst",
+            seed=1,
+            config_key=("a", 2),
+            trials=3,
+            make_instance=lambda rng: random_k_subsets(net, 4, 2, rng),
+            scheduler=GreedyScheduler(),
+        )
+        assert set(cell) == {
+            "makespan", "lower_bound", "ratio", "ratio_ci95", "comm_cost",
+        }
+        assert cell["ratio"] >= 1.0
+        assert cell["makespan"] >= cell["lower_bound"]
+
+    def test_deterministic_per_seed_and_key(self):
+        net = clique(10)
+        kwargs = dict(
+            trials=2,
+            make_instance=lambda rng: random_k_subsets(net, 3, 2, rng),
+            scheduler=GreedyScheduler(),
+        )
+        a = trial_ratios("tst", 5, ("x",), **kwargs)
+        b = trial_ratios("tst", 5, ("x",), **kwargs)
+        c = trial_ratios("tst", 5, ("y",), **kwargs)
+        assert a == b
+        assert a != c
+
+
+class TestMeanEvaluation:
+    def test_shared_lower_bound(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(10), 4, 2, rng)
+        evals = mean_evaluation(
+            [GreedyScheduler(), Compacted(GreedyScheduler())], inst, rng
+        )
+        assert len(evals) == 2
+        assert evals[0].lower_bound == evals[1].lower_bound
+
+
+class TestCompactedWrapper:
+    def test_name_and_dominance(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(16), 5, 2, rng)
+        plain = GreedyScheduler()
+        wrapped = Compacted(GreedyScheduler())
+        assert wrapped.name == "greedy+compact"
+        s_plain = plain.schedule(inst)
+        s_wrapped = wrapped.schedule(inst)
+        s_wrapped.validate()
+        assert s_wrapped.makespan <= s_plain.makespan

@@ -1,0 +1,188 @@
+"""Failure injection: corrupted schedules and payloads must be rejected.
+
+Systematically mutates feasible artifacts -- commit times, lock
+intervals, replica timings, serialized payloads -- and asserts that the
+validators reject every corruption, and that the static checker and the
+simulator always agree on the verdict.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.controlflow import ControlFlowScheduler, LockInterval
+from repro.core import GreedyScheduler, Schedule
+from repro.errors import InfeasibleScheduleError, ReproError
+from repro.io import schedule_from_dict, schedule_to_dict
+from repro.network import grid, line
+from repro.replication import (
+    ReplicatedGreedyScheduler,
+    ReplicatedSchedule,
+    random_rw_instance,
+)
+from repro.sim import execute
+from repro.workloads import random_k_subsets, root_rng
+
+
+def conflicting_pairs(inst):
+    """Pairs of transactions sharing an object."""
+    pairs = set()
+    for obj in inst.objects:
+        users = inst.users(obj)
+        for i, a in enumerate(users):
+            for b in users[i + 1 :]:
+                pairs.add((a.tid, b.tid))
+    return pairs
+
+
+class TestCommitTimeMutations:
+    @pytest.fixture
+    def good(self):
+        rng = root_rng(0)
+        inst = random_k_subsets(grid(5), w=5, k=2, rng=rng)
+        return GreedyScheduler().schedule(inst)
+
+    def test_every_conflicting_commit_pulled_to_one_is_rejected(self, good):
+        inst = good.instance
+        pairs = conflicting_pairs(inst)
+        assert pairs, "fixture must have conflicts"
+        rejected = 0
+        for a, b in sorted(pairs)[:20]:
+            commits = dict(good.commit_times)
+            commits[b] = commits[a]  # simultaneous conflicting commits
+            bad = Schedule(inst, commits)
+            static_ok = bad.is_feasible()
+            try:
+                execute(bad)
+                engine_ok = True
+            except InfeasibleScheduleError:
+                engine_ok = False
+            assert static_ok == engine_ok, "checkers must agree"
+            if not static_ok:
+                rejected += 1
+        assert rejected > 0
+
+    def test_shifting_late_user_earlier_than_travel_rejected(self, good):
+        inst = good.instance
+        # find an object leg with positive distance, tighten it below
+        for obj, visits in good.itineraries():
+            for a, b in zip(visits, visits[1:]):
+                d = inst.network.dist(a.node, b.node)
+                if b.tid >= 0 and a.tid >= 0 and d >= 2:
+                    commits = dict(good.commit_times)
+                    commits[b.tid] = commits[a.tid] + d - 1
+                    bad = Schedule(inst, commits)
+                    if not bad.is_feasible():
+                        with pytest.raises(InfeasibleScheduleError):
+                            execute(bad)
+                        return
+        pytest.skip("no tightenable leg in fixture")
+
+    def test_uniform_shift_preserves_feasibility(self, good):
+        # sanity: a uniform +10 shift must remain feasible
+        shifted = Schedule(
+            good.instance,
+            {t: c + 10 for t, c in good.commit_times.items()},
+        )
+        shifted.validate()
+        execute(shifted)
+
+
+class TestReplicatedMutations:
+    def test_reader_pulled_before_delivery_rejected(self):
+        rng = root_rng(1)
+        inst = random_rw_instance(line(12), w=4, k=2,
+                                  write_fraction=0.5, rng=rng)
+        good = ReplicatedGreedyScheduler().schedule(inst)
+        good.validate()
+        # pull every transaction individually to t=1; most mutations must
+        # break something, and validate must catch each break
+        caught = 0
+        for tid in good.commit_times:
+            commits = dict(good.commit_times)
+            if commits[tid] == 1:
+                continue
+            commits[tid] = 1
+            bad = ReplicatedSchedule(inst, commits)
+            if not bad.is_feasible():
+                caught += 1
+        assert caught > 0
+
+
+class TestControlFlowMutations:
+    def test_shrunken_lock_interval_rejected(self):
+        rng = root_rng(2)
+        inst = random_k_subsets(grid(4), w=4, k=2, rng=rng)
+        good = ControlFlowScheduler("rpc").schedule(inst)
+        good.validate()
+        # shrink one hold below its commit
+        (key, iv) = next(iter(good.locks.items()))
+        good.locks[key] = LockInterval(
+            iv.tid, iv.obj, iv.acquire, good.commit_times[iv.tid]
+        )
+        with pytest.raises(InfeasibleScheduleError):
+            good.validate()
+
+    def test_overlapping_injected_hold_rejected(self):
+        rng = root_rng(3)
+        inst = random_k_subsets(grid(4), w=3, k=2, rng=rng)
+        good = ControlFlowScheduler("rpc").schedule(inst)
+        # find two holds of the same object and stretch the earlier over
+        # the later
+        by_obj = {}
+        for (tid, obj), iv in good.locks.items():
+            by_obj.setdefault(obj, []).append(iv)
+        for obj, ivs in by_obj.items():
+            if len(ivs) >= 2:
+                ivs.sort(key=lambda iv: iv.acquire)
+                first = ivs[0]
+                good.locks[(first.tid, obj)] = LockInterval(
+                    first.tid, obj, first.acquire, ivs[1].acquire + 1
+                )
+                with pytest.raises(InfeasibleScheduleError):
+                    good.validate()
+                return
+        pytest.skip("no shared object in fixture")
+
+
+class TestPayloadCorruption:
+    @pytest.fixture
+    def payload(self):
+        rng = root_rng(4)
+        inst = random_k_subsets(line(8), w=3, k=2, rng=rng)
+        return schedule_to_dict(GreedyScheduler().schedule(inst))
+
+    def test_missing_commit_rejected(self, payload):
+        first = next(iter(payload["commit_times"]))
+        del payload["commit_times"][first]
+        with pytest.raises(ReproError):
+            schedule_from_dict(payload)
+
+    def test_negative_commit_rejected(self, payload):
+        first = next(iter(payload["commit_times"]))
+        payload["commit_times"][first] = -3
+        with pytest.raises(ReproError):
+            schedule_from_dict(payload)
+
+    def test_dangling_object_home_rejected(self, payload):
+        del payload["instance"]["object_homes"]["0"]
+        with pytest.raises(ReproError):
+            schedule_from_dict(payload)
+
+    def test_duplicate_node_rejected(self, payload):
+        txns = payload["instance"]["transactions"]
+        txns[1]["node"] = txns[0]["node"]
+        with pytest.raises(ReproError):
+            schedule_from_dict(payload)
+
+    def test_edge_corruption_rejected(self, payload):
+        payload["instance"]["network"]["edges"][0][2] = 0  # zero weight
+        with pytest.raises(ReproError):
+            schedule_from_dict(payload)
+
+    def test_round_trip_through_json_text(self, payload):
+        # full fidelity through actual JSON text, not just dicts
+        text = json.dumps(payload)
+        again = schedule_from_dict(json.loads(text))
+        again.validate()

@@ -1,0 +1,167 @@
+"""Integration tests: schedulers x topologies x workloads, end to end.
+
+Every combination must produce a schedule that (a) passes static
+feasibility, (b) survives hop-level simulation, (c) respects the certified
+lower bound, and (d) -- for the paper's schedulers -- lands within the
+theorem's predicted factor envelope (with generous constants; the point is
+the shape, not the constant).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate
+from repro.baselines import (
+    RandomOrderScheduler,
+    SequentialScheduler,
+    TSPOrderScheduler,
+)
+from repro.bounds import (
+    hard_grid_instance,
+    hard_tree_instance,
+    makespan_lower_bound,
+)
+from repro.core import GreedyScheduler, schedule_instance, scheduler_for
+from repro.network import (
+    butterfly,
+    clique,
+    cluster,
+    grid,
+    hypercube,
+    line,
+    star,
+)
+from repro.sim import execute
+from repro.workloads import (
+    hot_object_instance,
+    random_k_subsets,
+    zipf_k_subsets,
+)
+
+NETS = [
+    clique(12),
+    hypercube(4),
+    butterfly(3),
+    line(40),
+    grid(6),
+    cluster(3, 5, gamma=6),
+    star(4, 7),
+]
+GENERATORS = [random_k_subsets, zipf_k_subsets, hot_object_instance]
+
+
+@pytest.mark.parametrize("net", NETS, ids=[n.topology.name for n in NETS])
+@pytest.mark.parametrize("gen", GENERATORS, ids=lambda g: g.__name__)
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_paper_scheduler_full_matrix(net, gen, k):
+    rng = np.random.default_rng(hash((net.topology.name, gen.__name__, k)) % 2**32)
+    w = max(k + 1, net.n // 3)
+    inst = gen(net, w, k, rng)
+    s = schedule_instance(inst, rng)
+    s.validate()
+    trace = execute(s)
+    assert trace.makespan == s.makespan
+    assert makespan_lower_bound(inst) <= s.makespan
+
+
+@pytest.mark.parametrize("net", NETS, ids=[n.topology.name for n in NETS])
+def test_baselines_full_matrix(net):
+    rng = np.random.default_rng(net.n)
+    inst = random_k_subsets(net, max(2, net.n // 3), 2, rng)
+    lb = makespan_lower_bound(inst)
+    for sched in (
+        GreedyScheduler(),
+        SequentialScheduler(),
+        RandomOrderScheduler(),
+        TSPOrderScheduler(),
+    ):
+        ev = evaluate(sched, inst, rng, lower_bound=lb)
+        assert ev.makespan >= lb
+
+
+class TestTheoremEnvelopes:
+    """Measured ratios stay inside the theorems' shapes (loose constants)."""
+
+    def test_clique_o_of_k(self):
+        for k in (1, 2, 4):
+            rng = np.random.default_rng(k)
+            inst = random_k_subsets(clique(48), w=16, k=k, rng=rng)
+            ev = evaluate(scheduler_for(inst), inst, rng)
+            assert ev.ratio <= 4 * k + 2
+
+    def test_hypercube_o_of_k_logn(self):
+        for k in (1, 2):
+            rng = np.random.default_rng(10 + k)
+            inst = random_k_subsets(hypercube(5), w=12, k=k, rng=rng)
+            ev = evaluate(scheduler_for(inst), inst, rng)
+            assert ev.ratio <= 4 * k * math.log2(inst.network.n) + 2
+
+    def test_line_constant_factor(self):
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            inst = random_k_subsets(line(100), w=12, k=2, rng=rng)
+            ev = evaluate(scheduler_for(inst), inst, rng)
+            assert ev.ratio <= 6.0  # 4 plus walk/MST slack
+
+    def test_grid_o_of_k_logm(self):
+        rng = np.random.default_rng(20)
+        inst = random_k_subsets(grid(10), w=10, k=2, rng=rng)
+        ev = evaluate(scheduler_for(inst), inst, rng)
+        m = max(inst.network.n, inst.num_objects)
+        assert ev.ratio <= 8 * 2 * math.log(m)
+
+    def test_cluster_envelope(self):
+        rng = np.random.default_rng(30)
+        inst = random_k_subsets(cluster(4, 6, gamma=6), w=10, k=2, rng=rng)
+        ev = evaluate(scheduler_for(inst), inst, rng)
+        beta = 6
+        assert ev.ratio <= 8 * 2 * beta  # O(k*beta) arm of the min
+
+    def test_star_envelope(self):
+        rng = np.random.default_rng(40)
+        inst = random_k_subsets(star(5, 7), w=10, k=2, rng=rng)
+        ev = evaluate(scheduler_for(inst), inst, rng)
+        beta = 7
+        assert ev.ratio <= 8 * math.log2(beta) * 2 * beta
+
+
+class TestHardInstancesEndToEnd:
+    @pytest.mark.parametrize("builder", [hard_grid_instance, hard_tree_instance])
+    def test_all_schedulers_feasible_on_hard_instances(self, builder):
+        rng = np.random.default_rng(0)
+        inst = builder(4, rng).instance
+        for sched in (
+            GreedyScheduler(),
+            SequentialScheduler(),
+            TSPOrderScheduler(),
+        ):
+            s = sched.schedule(inst, rng)
+            s.validate()
+            execute(s)
+
+
+class TestCrossValidation:
+    """Static checker and simulator agree on feasibility."""
+
+    def test_agreement_on_feasible(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            inst = random_k_subsets(grid(5), w=6, k=2, rng=rng)
+            s = GreedyScheduler().schedule(inst)
+            assert s.is_feasible()
+            execute(s)  # must not raise
+
+    def test_agreement_on_infeasible(self):
+        from repro.core import Schedule
+        from repro.errors import InfeasibleScheduleError
+
+        rng = np.random.default_rng(99)
+        inst = random_k_subsets(line(10), w=3, k=2, rng=rng)
+        good = GreedyScheduler().schedule(inst)
+        # squash all commits to t=1: conflicts become simultaneous
+        bad = Schedule(inst, {tid: 1 for tid in good.commit_times})
+        if not bad.is_feasible():
+            with pytest.raises(InfeasibleScheduleError):
+                bad.validate()

@@ -1,0 +1,173 @@
+"""Unit tests for repro.network.graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.network.graph import Network, Topology
+
+
+def triangle():
+    return Network(3, [(0, 1, 1), (1, 2, 2), (0, 2, 4)])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = triangle()
+        assert net.n == 3
+        assert net.num_edges == 3
+        assert list(net.nodes()) == [0, 1, 2]
+
+    def test_edges_iterated_once_sorted(self):
+        net = triangle()
+        assert list(net.edges()) == [(0, 1, 1), (0, 2, 4), (1, 2, 2)]
+
+    def test_default_topology_is_generic(self):
+        assert triangle().topology.name == "generic"
+
+    def test_rejects_nonpositive_node_count(self):
+        with pytest.raises(GraphError):
+            Network(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Network(2, [(0, 0, 1), (0, 1, 1)])
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(GraphError, match="positive integer"):
+            Network(2, [(0, 1, 0)])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(GraphError, match="positive integer"):
+            Network(2, [(0, 1, -3)])
+
+    def test_rejects_fractional_weight(self):
+        with pytest.raises(GraphError, match="positive integer"):
+            Network(2, [(0, 1, 1.5)])
+
+    def test_accepts_integral_float_weight(self):
+        net = Network(2, [(0, 1, 2.0)])
+        assert net.edge_weight(0, 1) == 2
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError, match="out of range"):
+            Network(2, [(0, 5, 1)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(GraphError, match="connected"):
+            Network(4, [(0, 1, 1), (2, 3, 1)])
+
+    def test_rejects_conflicting_duplicate_weights(self):
+        with pytest.raises(GraphError, match="conflicting"):
+            Network(2, [(0, 1, 1), (1, 0, 2)])
+
+    def test_accepts_agreeing_duplicate_edge(self):
+        net = Network(2, [(0, 1, 3), (1, 0, 3)])
+        assert net.num_edges == 1
+
+    def test_single_node_network(self):
+        net = Network(1, [])
+        assert net.n == 1
+        assert net.diameter() == 0
+        assert net.dist(0, 0) == 0
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        net = triangle()
+        assert net.neighbors(1) == (0, 2)
+
+    def test_degree(self):
+        assert triangle().degree(0) == 2
+
+    def test_edge_weight(self):
+        net = triangle()
+        assert net.edge_weight(1, 2) == 2
+        assert net.edge_weight(2, 1) == 2
+
+    def test_edge_weight_missing_raises(self):
+        net = Network(3, [(0, 1, 1), (1, 2, 1)])
+        with pytest.raises(GraphError, match="no edge"):
+            net.edge_weight(0, 2)
+
+    def test_has_edge(self):
+        net = triangle()
+        assert net.has_edge(0, 1)
+        assert not net.has_edge(0, 0)
+
+
+class TestShortestPaths:
+    def test_dist_uses_cheaper_route(self):
+        net = triangle()
+        # direct 0-2 weighs 4; through 1 it is 1 + 2 = 3
+        assert net.dist(0, 2) == 3
+
+    def test_dist_symmetric(self):
+        net = triangle()
+        for u in range(3):
+            for v in range(3):
+                assert net.dist(u, v) == net.dist(v, u)
+
+    def test_distance_matrix_matches_dist(self):
+        net = triangle()
+        mat = net.distance_matrix
+        assert mat.dtype == np.int64
+        for u in range(3):
+            for v in range(3):
+                assert mat[u, v] == net.dist(u, v)
+
+    def test_shortest_path_endpoints_and_length(self):
+        net = triangle()
+        path = net.shortest_path(0, 2)
+        assert path[0] == 0 and path[-1] == 2
+        total = sum(
+            net.edge_weight(a, b) for a, b in zip(path, path[1:])
+        )
+        assert total == net.dist(0, 2)
+
+    def test_shortest_path_trivial(self):
+        assert triangle().shortest_path(1, 1) == [1]
+
+    def test_path_edges_exist(self):
+        net = Network(
+            5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (0, 4, 10)]
+        )
+        path = net.shortest_path(0, 4)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_diameter_and_eccentricity(self):
+        net = triangle()
+        assert net.diameter() == 3
+        assert net.eccentricity(0) == 3
+        assert net.eccentricity(1) == 2
+
+    def test_subset_diameter(self):
+        net = triangle()
+        assert net.subset_diameter([0, 1]) == 1
+        assert net.subset_diameter([0, 2]) == 3
+        assert net.subset_diameter([1]) == 0
+        assert net.subset_diameter([]) == 0
+
+
+class TestTopologyMetadata:
+    def test_topology_get_and_require(self):
+        topo = Topology("grid", {"rows": 3})
+        assert topo.get("rows") == 3
+        assert topo.get("cols", 7) == 7
+        assert topo.require("rows") == 3
+        with pytest.raises(KeyError, match="cols"):
+            topo.require("cols")
+
+    def test_network_carries_topology(self):
+        topo = Topology("custom", {"x": 1})
+        net = Network(2, [(0, 1, 1)], topo)
+        assert net.topology is topo
+
+
+class TestInterop:
+    def test_to_networkx_round_trip(self):
+        net = triangle()
+        g = net.to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 3
+        assert g[1][2]["weight"] == 2

@@ -1,0 +1,71 @@
+"""Unit tests for repro.network.properties."""
+
+from repro.network import butterfly, clique, cluster, grid, hypercube, line, star
+from repro.network.graph import Network
+from repro.network.properties import (
+    average_degree,
+    expected_grid_diameter,
+    expected_hypercube_diameter,
+    has_unit_weights,
+    is_clique,
+    is_grid,
+    is_line,
+    is_tree,
+    log2_ceil,
+    max_degree,
+)
+
+
+class TestPredicates:
+    def test_is_clique_positive_and_negative(self):
+        assert is_clique(clique(5))
+        assert not is_clique(line(5))
+        # complete structure but a heavy edge disqualifies unit weights
+        net = Network(3, [(0, 1, 1), (1, 2, 1), (0, 2, 2)])
+        assert not is_clique(net)
+
+    def test_is_line_positive_and_negative(self):
+        assert is_line(line(6))
+        assert not is_line(clique(3))
+        # right edge count, wrong shape (a star is also n-1 edges)
+        assert not is_line(star(2, 2))
+
+    def test_is_grid(self):
+        assert is_grid(grid(3, 4), 3, 4)
+        assert not is_grid(grid(3, 4), 4, 3)
+        assert not is_grid(clique(12), 3, 4)
+
+    def test_is_tree(self):
+        assert is_tree(line(7))
+        assert is_tree(star(3, 4))
+        assert not is_tree(clique(4))
+        assert not is_tree(grid(3))
+
+    def test_unit_weights(self):
+        assert has_unit_weights(hypercube(3))
+        assert not has_unit_weights(cluster(2, 3, gamma=5))
+
+
+class TestMeasures:
+    def test_max_degree(self):
+        assert max_degree(clique(6)) == 5
+        assert max_degree(line(6)) == 2
+        assert max_degree(star(4, 3)) == 4  # the center
+
+    def test_average_degree(self):
+        assert average_degree(clique(4)) == 3.0
+        assert abs(average_degree(line(5)) - 1.6) < 1e-9
+
+    def test_expected_diameters(self):
+        assert expected_hypercube_diameter(5) == hypercube(5).diameter()
+        assert expected_grid_diameter(4, 6) == grid(4, 6).diameter()
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(8) == 3
+        assert log2_ceil(9) == 4
+
+    def test_butterfly_degrees_bounded(self):
+        assert max_degree(butterfly(3)) == 4

@@ -1,0 +1,106 @@
+"""Unit tests for object placement optimization."""
+
+import numpy as np
+import pytest
+
+from repro.bounds import makespan_lower_bound
+from repro.core import GreedyScheduler, Instance, Transaction
+from repro.network import clique, grid, line
+from repro.placement import median_node, optimize_homes, walk_optimal_home
+from repro.workloads import random_k_subsets
+
+
+class TestMedianNode:
+    def test_line_center_minimizes_max(self):
+        inst = Instance(
+            line(10),
+            [Transaction(0, 0, {0}), Transaction(1, 9, {0}),
+             Transaction(2, 4, {0})],
+            {0: 0},
+        )
+        assert median_node(inst, [0, 4, 9], "max") == 4
+
+    def test_sum_objective_prefers_mass(self):
+        inst = Instance(
+            line(10),
+            [Transaction(0, 0, {0}), Transaction(1, 1, {0}),
+             Transaction(2, 2, {0}), Transaction(3, 9, {0})],
+            {0: 0},
+        )
+        assert median_node(inst, [0, 1, 2, 9], "sum") in (1, 2)
+
+    def test_anywhere_candidates(self):
+        inst = Instance(
+            line(9),
+            [Transaction(0, 0, {0}), Transaction(1, 8, {0})],
+            {0: 0},
+        )
+        mid = median_node(inst, [0, 8], "max", candidates=list(range(9)))
+        assert mid == 4
+
+
+class TestWalkOptimalHome:
+    def test_line_extremal_home_wins(self):
+        # walk from an end = span; from the middle = 1.5 * span
+        inst = Instance(
+            line(21),
+            [Transaction(0, 0, {0}), Transaction(1, 10, {0}),
+             Transaction(2, 20, {0})],
+            {0: 10},
+        )
+        assert walk_optimal_home(inst, [0, 10, 20]) in (0, 20)
+
+    def test_single_user(self):
+        inst = Instance(line(5), [Transaction(0, 3, {0})], {0: 0})
+        assert walk_optimal_home(inst, [3]) == 3
+
+
+class TestOptimizeHomes:
+    def test_homes_stay_on_requesters(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(grid(5), w=5, k=2, rng=rng)
+        for objective in ("walk", "max", "sum"):
+            opt = optimize_homes(inst, objective)
+            for obj in opt.objects:
+                users = {t.node for t in opt.users(obj)}
+                if users:
+                    assert opt.home(obj) in users
+
+    def test_walk_objective_never_raises_lower_bound(self):
+        # exact walks for small user sets: picking the best requester can
+        # only lower each object's walk, hence the certified bound
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            inst = random_k_subsets(line(16), w=8, k=2, rng=rng)
+            base_lb = makespan_lower_bound(inst)
+            opt_lb = makespan_lower_bound(optimize_homes(inst, "walk"))
+            assert opt_lb <= base_lb
+
+    def test_max_objective_shrinks_worst_first_leg(self):
+        txns = [
+            Transaction(0, 0, {0}),
+            Transaction(1, 10, {0}),
+            Transaction(2, 20, {0}),
+        ]
+        inst = Instance(line(21), txns, {0: 0})
+        opt = optimize_homes(inst, "max")
+        assert opt.home(0) == 10  # the 1-center of {0, 10, 20}
+
+    def test_unused_objects_untouched(self):
+        inst = Instance(
+            clique(3), [Transaction(0, 0, {0})], {0: 0, 9: 2}
+        )
+        assert optimize_homes(inst).home(9) == 2
+
+    def test_schedulable_after_rehoming(self):
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(grid(6), w=6, k=2, rng=rng)
+        for objective in ("walk", "max"):
+            opt = optimize_homes(inst, objective)
+            GreedyScheduler().schedule(opt).validate()
+
+    def test_anywhere_allows_non_requesters(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 8, {0})]
+        inst = Instance(line(9), txns, {0: 0})
+        opt = optimize_homes(inst, "max", anywhere=True)
+        assert opt.home(0) == 4

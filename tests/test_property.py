@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies build arbitrary connected weighted networks (random spanning
+tree plus chords) and arbitrary instances over them; the invariants under
+test are the library's contracts:
+
+* greedy colouring is always valid and within ``Gamma + 1``;
+* every scheduler's output passes the static checker AND the simulator;
+* the certified lower bound never exceeds any feasible makespan;
+* the static checker and the engine accept/reject in agreement;
+* metric helpers satisfy their sandwich inequalities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ListScheduler, RandomOrderScheduler
+from repro.bounds import makespan_lower_bound
+from repro.bounds.walks import held_karp_path, mst_weight, walk_bounds
+from repro.core import (
+    DependencyGraph,
+    GreedyScheduler,
+    Instance,
+    Schedule,
+    Transaction,
+)
+from repro.core.coloring import greedy_color, validate_coloring
+from repro.errors import InfeasibleScheduleError
+from repro.network.graph import Network
+from repro.sim import execute
+
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+
+@st.composite
+def networks(draw, max_n=12):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = []
+    # random spanning tree: connect node i to a random earlier node
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        w = draw(st.integers(min_value=1, max_value=5))
+        edges.append((parent, i, w))
+    # chords
+    n_chords = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(n_chords):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v or any(
+            (a, b) in ((u, v), (v, u)) for a, b, _ in edges
+        ):
+            continue
+        w = draw(st.integers(min_value=1, max_value=5))
+        edges.append((u, v, w))
+    return Network(n, edges)
+
+
+@st.composite
+def instances(draw, max_n=12, max_w=6):
+    net = draw(networks(max_n=max_n))
+    w = draw(st.integers(min_value=1, max_value=max_w))
+    m = draw(st.integers(min_value=1, max_value=net.n))
+    nodes = draw(
+        st.permutations(list(range(net.n))).map(lambda p: sorted(p[:m]))
+    )
+    txns = []
+    for i, node in enumerate(nodes):
+        k = draw(st.integers(min_value=1, max_value=w))
+        objs = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=w - 1),
+                min_size=1,
+                max_size=k,
+            )
+        )
+        txns.append(Transaction(i, node, objs))
+    homes = {
+        o: draw(st.integers(min_value=0, max_value=net.n - 1))
+        for o in range(w)
+    }
+    return Instance(net, txns, homes)
+
+
+@st.composite
+def metric_matrices(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pts = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arr = np.asarray(pts, dtype=np.int64)
+    return np.abs(arr[:, None, :] - arr[None, :, :]).sum(axis=2)
+
+
+# --------------------------------------------------------------------- #
+# network metric properties
+# --------------------------------------------------------------------- #
+
+@given(networks())
+@settings(max_examples=50, deadline=None)
+def test_distances_form_a_metric(net):
+    d = net.distance_matrix
+    assert (d == d.T).all()
+    assert (np.diag(d) == 0).all()
+    # triangle inequality via min-plus check on a few triples
+    n = net.n
+    for u in range(min(n, 5)):
+        for v in range(min(n, 5)):
+            for x in range(min(n, 5)):
+                assert d[u, v] <= d[u, x] + d[x, v]
+
+
+@given(networks())
+@settings(max_examples=50, deadline=None)
+def test_shortest_path_length_matches_distance(net):
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        u, v = rng.integers(0, net.n, 2)
+        path = net.shortest_path(int(u), int(v))
+        total = sum(net.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        assert total == net.dist(int(u), int(v))
+
+
+# --------------------------------------------------------------------- #
+# colouring properties
+# --------------------------------------------------------------------- #
+
+@given(instances())
+@settings(max_examples=75, deadline=None)
+def test_greedy_coloring_always_valid_and_bounded(inst):
+    h = DependencyGraph.build(inst)
+    colors = greedy_color(h)
+    validate_coloring(h, colors)
+    assert max(colors.values()) <= h.weighted_degree + 1
+
+
+# --------------------------------------------------------------------- #
+# scheduling properties
+# --------------------------------------------------------------------- #
+
+@given(instances())
+@settings(max_examples=75, deadline=None)
+def test_greedy_schedule_feasible_and_above_lower_bound(inst):
+    s = GreedyScheduler().schedule(inst)
+    s.validate()
+    trace = execute(s)
+    assert trace.makespan == s.makespan
+    assert makespan_lower_bound(inst) <= s.makespan
+
+
+@given(instances(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_list_schedulers_feasible_any_priority(inst, seed):
+    rng = np.random.default_rng(seed)
+    for sched in (ListScheduler(), RandomOrderScheduler()):
+        s = sched.schedule(inst, rng)
+        s.validate()
+        execute(s)
+
+
+@given(instances(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_checker_and_engine_agree(inst, seed):
+    """Random commit times: static validation and the engine agree."""
+    rng = np.random.default_rng(seed)
+    horizon = max(4 * inst.network.diameter() + 2, 8)
+    commits = {
+        t.tid: int(rng.integers(1, horizon)) for t in inst.transactions
+    }
+    s = Schedule(inst, commits)
+    if s.is_feasible():
+        execute(s)
+    else:
+        try:
+            execute(s)
+        except InfeasibleScheduleError:
+            pass
+        else:  # pragma: no cover - would be a real bug
+            raise AssertionError(
+                "engine accepted a schedule the checker rejected"
+            )
+
+
+# --------------------------------------------------------------------- #
+# walk/tour properties
+# --------------------------------------------------------------------- #
+
+@given(metric_matrices())
+@settings(max_examples=75, deadline=None)
+def test_walk_bounds_sandwich(dist):
+    lo, hi = walk_bounds(dist, 0)
+    assert 0 <= lo <= hi
+    if dist.shape[0] <= 8:
+        exact = held_karp_path(dist, 0)
+        assert lo <= exact <= hi
+
+
+@given(metric_matrices())
+@settings(max_examples=75, deadline=None)
+def test_mst_lower_bounds_exact_walk(dist):
+    if dist.shape[0] <= 8:
+        assert mst_weight(dist) <= held_karp_path(dist, 0)

@@ -1,0 +1,114 @@
+"""Property-based tests, round three: the model extensions.
+
+Invariants under hypothesis for the replication, control-flow, capacity,
+and placement modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlflow import ControlFlowScheduler
+from repro.core import GreedyScheduler, compact_schedule
+from repro.network import clique, grid, line
+from repro.placement import optimize_homes
+from repro.replication import (
+    ReplicatedGreedyScheduler,
+    build_rw_dependency,
+    random_rw_instance,
+)
+from repro.sim import capacity_execute
+from repro.workloads import random_k_subsets
+
+
+@st.composite
+def small_networks(draw):
+    family = draw(st.sampled_from(["clique", "line", "grid"]))
+    if family == "clique":
+        return clique(draw(st.integers(min_value=2, max_value=14)))
+    if family == "line":
+        return line(draw(st.integers(min_value=2, max_value=20)))
+    return grid(
+        draw(st.integers(min_value=2, max_value=4)),
+        draw(st.integers(min_value=2, max_value=4)),
+    )
+
+
+@st.composite
+def rw_instances(draw):
+    net = draw(small_networks())
+    w = draw(st.integers(min_value=1, max_value=5))
+    k = draw(st.integers(min_value=1, max_value=min(2, w)))
+    wf = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_rw_instance(net, w, k, wf, np.random.default_rng(seed))
+
+
+@given(rw_instances())
+@settings(max_examples=50, deadline=None)
+def test_replicated_schedules_always_feasible(inst):
+    s = ReplicatedGreedyScheduler().schedule(inst)
+    s.validate()
+    # the write-aware conflict graph is a subgraph of the single-copy one
+    from repro.core.dependency import DependencyGraph
+
+    thin = build_rw_dependency(inst).num_edges
+    full = DependencyGraph.build(inst.as_single_copy()).num_edges
+    assert thin <= full
+
+
+@given(
+    small_networks(),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.sampled_from(["rpc", "migration", "hybrid"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_controlflow_schedules_always_feasible(net, seed, mode):
+    rng = np.random.default_rng(seed)
+    w = max(2, net.n // 2)
+    inst = random_k_subsets(net, w, min(2, w), rng)
+    s = ControlFlowScheduler(mode).schedule(inst)
+    s.validate()
+    assert s.makespan >= 1
+
+
+@given(
+    small_networks(),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_capacity_execution_monotone_and_ordered(net, seed, cap):
+    rng = np.random.default_rng(seed)
+    w = max(2, net.n // 2)
+    inst = random_k_subsets(net, w, min(2, w), rng)
+    s = GreedyScheduler().schedule(inst)
+    res = capacity_execute(s, capacity=cap)
+    unlimited = capacity_execute(s, capacity=10**6)
+    assert res.makespan >= unlimited.makespan
+    assert unlimited.commit_times == compact_schedule(s).commit_times
+    for obj in inst.objects:
+        users = sorted(inst.users(obj), key=lambda t: s.time_of(t.tid))
+        times = [res.commit_times[t.tid] for t in users]
+        assert times == sorted(times)
+
+
+@given(
+    small_networks(),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.sampled_from(["walk", "max", "sum"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_placement_keeps_instances_schedulable(net, seed, objective):
+    rng = np.random.default_rng(seed)
+    w = max(2, net.n // 2)
+    inst = random_k_subsets(net, w, min(2, w), rng)
+    opt = optimize_homes(inst, objective)
+    # homes still on requesters, and scheduling still works end to end
+    for obj in opt.objects:
+        users = {t.node for t in opt.users(obj)}
+        if users:
+            assert opt.home(obj) in users
+    GreedyScheduler().schedule(opt).validate()

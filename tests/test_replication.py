@@ -1,0 +1,191 @@
+"""Unit tests for the replication/versioned-reads extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyScheduler
+from repro.errors import InfeasibleScheduleError, InstanceError
+from repro.network import clique, line
+from repro.replication import (
+    ReplicatedGreedyScheduler,
+    ReplicatedInstance,
+    ReplicatedSchedule,
+    RWTransaction,
+    build_rw_dependency,
+    random_rw_instance,
+)
+from repro.workloads import root_rng
+
+
+def rw(tid, node, reads=(), writes=()):
+    return RWTransaction(tid, node, reads, writes)
+
+
+class TestModel:
+    def test_reads_exclude_writes(self):
+        t = rw(0, 0, reads=[1, 2], writes=[2, 3])
+        assert t.reads == frozenset({1})
+        assert t.writes == frozenset({2, 3})
+        assert t.objects == frozenset({1, 2, 3})
+
+    def test_rejects_empty_access(self):
+        with pytest.raises(InstanceError):
+            rw(0, 0)
+
+    def test_instance_indexes(self):
+        net = clique(4)
+        txns = [
+            rw(0, 0, writes=[0]),
+            rw(1, 1, reads=[0]),
+            rw(2, 2, reads=[0], writes=[1]),
+        ]
+        inst = ReplicatedInstance(net, txns, {0: 0, 1: 2})
+        assert [t.tid for t in inst.writers(0)] == [0]
+        assert {t.tid for t in inst.readers(0)} == {1, 2}
+        assert [t.tid for t in inst.writers(1)] == [2]
+
+    def test_validation_mirrors_base_model(self):
+        net = clique(2)
+        with pytest.raises(InstanceError, match="two transactions"):
+            ReplicatedInstance(
+                net, [rw(0, 0, writes=[0]), rw(1, 0, reads=[0])], {0: 0}
+            )
+        with pytest.raises(InstanceError, match="no home"):
+            ReplicatedInstance(net, [rw(0, 0, writes=[5])], {})
+
+    def test_as_single_copy_preserves_accesses(self):
+        net = clique(3)
+        txns = [rw(0, 0, reads=[0], writes=[1]), rw(1, 1, reads=[1])]
+        inst = ReplicatedInstance(net, txns, {0: 0, 1: 0})
+        base = inst.as_single_copy()
+        assert base.transaction(0).objects == frozenset({0, 1})
+        assert base.transaction(1).objects == frozenset({1})
+
+
+class TestFeasibility:
+    def make_line(self):
+        # writer at node 0, reader at node 4, second writer at node 2
+        net = line(5)
+        txns = [
+            rw(0, 0, writes=[0]),
+            rw(1, 4, reads=[0]),
+            rw(2, 2, writes=[0]),
+        ]
+        return ReplicatedInstance(net, txns, {0: 0})
+
+    def test_master_chain_enforced(self):
+        inst = self.make_line()
+        # writer 0 at t=1, writer 2 at t=2: master needs 2 steps 0 -> 2
+        s = ReplicatedSchedule(inst, {0: 1, 2: 2, 1: 9})
+        with pytest.raises(InfeasibleScheduleError, match="master"):
+            s.validate()
+        ReplicatedSchedule(inst, {0: 1, 2: 3, 1: 9}).validate()
+
+    def test_replica_from_latest_prior_writer(self):
+        inst = self.make_line()
+        # reader at t=5 reads writer-2's version (t=3, node 2, dist 2) -> ok
+        ReplicatedSchedule(inst, {0: 1, 2: 3, 1: 5}).validate()
+        # reader at t=4 still reads writer-2's version but 4-3 < dist 2
+        with pytest.raises(InfeasibleScheduleError, match="replica"):
+            ReplicatedSchedule(inst, {0: 1, 2: 3, 1: 4}).validate()
+
+    def test_reader_between_writers_reads_older_version(self):
+        inst = self.make_line()
+        # reader commits at t=4 before writer 2 (t=9): source is writer 0
+        # at node 0, dist 4, gap 3 -> infeasible; gap 4 -> feasible
+        with pytest.raises(InfeasibleScheduleError):
+            ReplicatedSchedule(inst, {0: 1, 1: 4, 2: 9}).validate()
+        ReplicatedSchedule(inst, {0: 1, 1: 5, 2: 9}).validate()
+
+    def test_version_zero_read_from_home(self):
+        net = line(4)
+        inst = ReplicatedInstance(net, [rw(0, 3, reads=[0])], {0: 0})
+        with pytest.raises(InfeasibleScheduleError):
+            ReplicatedSchedule(inst, {0: 2}).validate()
+        ReplicatedSchedule(inst, {0: 3}).validate()
+
+    def test_reader_writer_tie_rejected(self):
+        inst = self.make_line()
+        s = ReplicatedSchedule(inst, {0: 1, 2: 3, 1: 3})
+        with pytest.raises(InfeasibleScheduleError, match="share commit"):
+            s.validate()
+
+    def test_concurrent_readers_allowed(self):
+        net = clique(4)
+        txns = [rw(i, i, reads=[0]) for i in range(4)]
+        inst = ReplicatedInstance(net, txns, {0: 0})
+        # all read version 0; reader at the home commits at 1, others at 1
+        # need dist 1 from home -> t >= 1 works for home node only; give 2
+        ReplicatedSchedule(
+            inst, {0: 1, 1: 2, 2: 2, 3: 2}
+        ).validate()
+
+
+class TestScheduler:
+    def test_dependency_thinning(self):
+        net = clique(5)
+        txns = [rw(i, i, reads=[0]) for i in range(4)] + [rw(4, 4, writes=[0])]
+        inst = ReplicatedInstance(net, txns, {0: 0})
+        g = build_rw_dependency(inst)
+        # only writer-reader edges: 4, no read-read edges
+        assert g.num_edges == 4
+
+    @pytest.mark.parametrize("wf", [0.0, 0.3, 1.0])
+    def test_feasible_across_write_fractions(self, wf):
+        rng = root_rng(int(wf * 10))
+        inst = random_rw_instance(clique(16), w=6, k=2,
+                                  write_fraction=wf, rng=rng)
+        s = ReplicatedGreedyScheduler().schedule(inst)
+        s.validate()
+
+    def test_read_only_workload_fully_parallel(self):
+        rng = root_rng(1)
+        inst = random_rw_instance(clique(12), w=4, k=2,
+                                  write_fraction=0.0, rng=rng)
+        s = ReplicatedGreedyScheduler().schedule(inst)
+        s.validate()
+        # no conflicts at all: everything commits within diameter + 1
+        assert s.makespan <= 2
+
+    def test_all_writes_matches_base_greedy_shape(self):
+        rng = root_rng(2)
+        inst = random_rw_instance(line(12), w=4, k=2,
+                                  write_fraction=1.0, rng=rng)
+        rs = ReplicatedGreedyScheduler().schedule(inst)
+        bs = GreedyScheduler().schedule(inst.as_single_copy())
+        rs.validate()
+        bs.validate()
+        # identical conflict graphs -> identical colourings up to offset
+        assert rs.makespan <= bs.makespan + bs.meta["offset"] + 1
+
+    def test_replicated_never_slower_than_single_copy(self):
+        for seed in range(5):
+            rng = root_rng(100 + seed)
+            inst = random_rw_instance(clique(16), w=6, k=2,
+                                      write_fraction=0.3, rng=rng)
+            rs = ReplicatedGreedyScheduler().schedule(inst)
+            bs = GreedyScheduler().schedule(inst.as_single_copy())
+            assert rs.makespan <= bs.makespan + 1
+
+    def test_communication_cost_positive_when_moving(self):
+        net = line(5)
+        txns = [rw(0, 0, writes=[0]), rw(1, 4, reads=[0])]
+        inst = ReplicatedInstance(net, txns, {0: 0})
+        s = ReplicatedSchedule(inst, {0: 1, 1: 5})
+        assert s.communication_cost == 4
+
+
+class TestWorkloadGenerator:
+    def test_parameter_validation(self):
+        rng = root_rng(3)
+        with pytest.raises(InstanceError):
+            random_rw_instance(clique(4), w=2, k=3, write_fraction=0.5, rng=rng)
+        with pytest.raises(InstanceError):
+            random_rw_instance(clique(4), w=2, k=1, write_fraction=2.0, rng=rng)
+
+    def test_write_fraction_extremes(self):
+        rng = root_rng(4)
+        all_reads = random_rw_instance(clique(10), 4, 2, 0.0, rng)
+        assert all(not t.writes for t in all_reads.transactions)
+        all_writes = random_rw_instance(clique(10), 4, 2, 1.0, rng)
+        assert all(not t.reads for t in all_writes.transactions)

@@ -1,0 +1,118 @@
+"""Unit tests for the simulation engine and routing."""
+
+import pytest
+
+from repro.core import Instance, Schedule, Transaction
+from repro.errors import InfeasibleScheduleError
+from repro.network import clique, line
+from repro.sim import execute, plan_leg
+
+
+class TestPlanLeg:
+    def test_hops_follow_shortest_path(self):
+        net = line(5)
+        leg = plan_leg(net, obj=0, src=0, dst=3, depart=2, deadline=10)
+        assert leg.path == (0, 1, 2, 3)
+        assert leg.arrive == 5
+        assert leg.distance == 3
+        assert [(h.src, h.dst, h.enter, h.exit) for h in leg.hops] == [
+            (0, 1, 2, 3),
+            (1, 2, 3, 4),
+            (2, 3, 4, 5),
+        ]
+
+    def test_weighted_hops(self):
+        from repro.network.graph import Network
+
+        net = Network(3, [(0, 1, 3), (1, 2, 2)])
+        leg = plan_leg(net, 0, 0, 2, depart=0, deadline=9)
+        assert leg.arrive == 5
+        assert leg.hops[0].exit == 3
+
+    def test_trivial_leg(self):
+        net = line(3)
+        leg = plan_leg(net, 0, 1, 1, depart=4, deadline=4)
+        assert leg.hops == ()
+        assert leg.arrive == 4
+
+
+class TestExecute:
+    def make(self, commits):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+        inst = Instance(line(6), txns, {0: 0})
+        return Schedule(inst, commits)
+
+    def test_feasible_schedule_executes(self):
+        trace = execute(self.make({0: 1, 1: 5}))
+        assert trace.makespan == 5
+        assert trace.total_distance == 4
+        assert trace.object_distance == {0: 4}
+
+    def test_infeasible_raises_in_transit(self):
+        with pytest.raises(InfeasibleScheduleError, match="reaches"):
+            execute(self.make({0: 1, 1: 3}))
+
+    def test_commit_events_ordered(self):
+        trace = execute(self.make({0: 1, 1: 5}))
+        assert [c.tid for c in trace.commits] == [0, 1]
+        assert trace.commits[0].objects == (0,)
+
+    def test_record_commits_off(self):
+        trace = execute(self.make({0: 1, 1: 5}), record_commits=False)
+        assert trace.commits == ()
+
+    def test_edge_traffic_counts_traversals(self):
+        trace = execute(self.make({0: 1, 1: 5}))
+        assert trace.edge_traffic == {(0, 1): 1, (1, 2): 1, (2, 3): 1, (3, 4): 1}
+        assert trace.hottest_edge[1] == 1
+
+    def test_idle_time_counts_slack(self):
+        trace = execute(self.make({0: 1, 1: 9}))  # 4 extra steps of slack
+        assert trace.idle_object_time == 4
+
+    def test_max_in_flight(self):
+        txns = [
+            Transaction(0, 0, {0}),
+            Transaction(1, 1, {1}),
+            Transaction(2, 4, {0}),
+            Transaction(3, 5, {1}),
+        ]
+        inst = Instance(line(6), txns, {0: 0, 1: 1})
+        s = Schedule(inst, {0: 1, 1: 1, 2: 5, 3: 5})
+        trace = execute(s)
+        assert trace.max_in_flight == 2  # both objects travel simultaneously
+
+    def test_revisited_home_node(self):
+        # object homed at node 4, used at node 0 first, then back at node 4
+        txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+        inst = Instance(line(6), txns, {0: 4})
+        trace = execute(Schedule(inst, {0: 4, 1: 8}))
+        assert trace.total_distance == 8
+
+    def test_object_shared_at_same_node_forbidden_twice(self):
+        # commit-and-forward in the same step is allowed: gap exactly dist
+        txns = [Transaction(0, 2, {0}), Transaction(1, 3, {0})]
+        inst = Instance(line(6), txns, {0: 2})
+        trace = execute(Schedule(inst, {0: 1, 1: 2}))
+        assert trace.makespan == 2
+
+    def test_multiple_objects_per_transaction(self):
+        txns = [Transaction(0, 2, {0, 1})]
+        inst = Instance(line(5), txns, {0: 0, 1: 4})
+        trace = execute(Schedule(inst, {0: 2}))
+        assert trace.total_distance == 4
+        with pytest.raises(InfeasibleScheduleError):
+            execute(Schedule(inst, {0: 1}))
+
+    def test_trace_as_dict(self):
+        d = execute(self.make({0: 1, 1: 5})).as_dict()
+        assert d["makespan"] == 5
+        assert d["commits"] == 2
+
+    def test_clique_parallel_commits(self):
+        net = clique(4)
+        txns = [Transaction(i, i, {i}) for i in range(4)]
+        inst = Instance(net, txns, {i: i for i in range(4)})
+        trace = execute(Schedule(inst, {i: 1 for i in range(4)}))
+        assert trace.makespan == 1
+        assert trace.total_distance == 0

@@ -1,0 +1,119 @@
+"""Unit tests for congestion analysis and asynchronous replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyScheduler, Instance, Schedule, Transaction
+from repro.network import clique, line
+from repro.sim import (
+    asynchronous_execute,
+    congestion_report,
+    serialized_edge_makespan,
+)
+from repro.workloads import random_k_subsets
+
+
+def shared_line_instance():
+    """Two objects both crossing the middle edge of a line concurrently."""
+    net = line(6)
+    txns = [
+        Transaction(0, 0, {0}),
+        Transaction(1, 1, {1}),
+        Transaction(2, 4, {0}),
+        Transaction(3, 5, {1}),
+    ]
+    return Instance(net, txns, {0: 0, 1: 1})
+
+
+class TestCongestionReport:
+    def test_concurrent_legs_counted(self):
+        inst = shared_line_instance()
+        # object 0 departs node 0 at t=1, object 1 departs node 1 at t=2:
+        # both occupy edge (2,3) during [3,4)
+        s = Schedule(inst, {0: 1, 1: 2, 2: 5, 3: 6})
+        rep = congestion_report(s)
+        assert rep.peak_concurrency[(2, 3)] == 2
+        assert rep.exclusive_time[(2, 3)] == 2
+        assert rep.max_peak == 2
+
+    def test_pipelined_legs_do_not_overlap(self):
+        inst = shared_line_instance()
+        # simultaneous departures from staggered origins pipeline one hop
+        # apart and never share an edge interval
+        s = Schedule(inst, {0: 1, 1: 1, 2: 5, 3: 5})
+        rep = congestion_report(s)
+        assert rep.max_peak == 1
+
+    def test_disjoint_legs_capacity_one(self):
+        inst = shared_line_instance()
+        # serialize the two objects' trips in time
+        s = Schedule(inst, {0: 1, 1: 6, 2: 5, 3: 11})
+        rep = congestion_report(s)
+        assert rep.max_peak == 1
+        assert rep.congestion_gap <= 1.0
+
+    def test_lower_bound_is_max_exclusive(self):
+        inst = shared_line_instance()
+        s = Schedule(inst, {0: 1, 1: 1, 2: 5, 3: 5})
+        rep = congestion_report(s)
+        assert rep.capacity1_lower_bound == max(rep.exclusive_time.values())
+
+    def test_no_movement_no_congestion(self):
+        inst = Instance(clique(2), [Transaction(0, 0, {0})], {0: 0})
+        rep = congestion_report(Schedule(inst, {0: 1}))
+        assert rep.max_peak == 0
+        assert rep.capacity1_lower_bound == 0
+
+    def test_serialized_upper_bound_dominates(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(clique(16), w=5, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        rep = congestion_report(s)
+        ub = serialized_edge_makespan(s)
+        assert ub >= rep.capacity1_lower_bound
+        assert ub >= s.makespan
+
+
+class TestAsynchronousExecute:
+    def test_phi_one_matches_asap_replay(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(12), w=4, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        res = asynchronous_execute(s, 1.0, np.random.default_rng(2))
+        # with no jitter the replay is a (slack-compressed) valid schedule
+        assert res.makespan <= s.makespan
+        Schedule(inst, res.realized_commits).validate()
+
+    @pytest.mark.parametrize("phi", [1.5, 2.0, 4.0])
+    def test_inflation_bounded_by_phi(self, phi):
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(line(20), w=5, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        base = asynchronous_execute(s, 1.0, np.random.default_rng(4)).makespan
+        res = asynchronous_execute(s, phi, np.random.default_rng(4))
+        assert res.makespan <= phi * base + len(inst.transactions)
+
+    def test_object_chains_preserve_order(self):
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(clique(10), w=3, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        res = asynchronous_execute(s, 3.0, np.random.default_rng(6))
+        for obj in inst.objects:
+            users = sorted(inst.users(obj), key=lambda t: s.time_of(t.tid))
+            realized = [res.realized_commits[t.tid] for t in users]
+            assert realized == sorted(realized)
+
+    def test_rejects_phi_below_one(self):
+        rng = np.random.default_rng(7)
+        inst = random_k_subsets(clique(6), w=2, k=1, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        with pytest.raises(ValueError):
+            asynchronous_execute(s, 0.5, np.random.default_rng(8))
+
+    def test_deterministic_given_rng(self):
+        rng = np.random.default_rng(9)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        a = asynchronous_execute(s, 2.0, np.random.default_rng(10))
+        b = asynchronous_execute(s, 2.0, np.random.default_rng(10))
+        assert a.realized_commits == b.realized_commits

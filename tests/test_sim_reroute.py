@@ -1,0 +1,79 @@
+"""Unit tests for congestion-aware rerouting."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyScheduler, Instance, Schedule, Transaction
+from repro.network import clique, grid, line
+from repro.network.graph import Network
+from repro.sim import congestion_report, reroute_for_congestion
+from repro.workloads import random_k_subsets
+
+
+class TestReroute:
+    def test_paths_respect_deadlines(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(grid(6), w=6, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        plan = reroute_for_congestion(s)
+        net = inst.network
+        for (obj, depart, src, dst), path in plan.paths.items():
+            assert path[0] == src and path[-1] == dst
+            length = sum(
+                net.edge_weight(a, b) for a, b in zip(path, path[1:])
+            )
+            # find the leg's deadline from the itinerary
+            visits = s.itinerary(obj)
+            deadline = None
+            for a, b in zip(visits, visits[1:]):
+                if (a.time, a.node, b.node) == (depart, src, dst):
+                    deadline = b.time
+            assert deadline is not None
+            assert depart + length <= deadline
+
+    def test_never_worse_than_shortest_paths(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(grid(6), w=6, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        base_peak = congestion_report(s).max_peak
+        plan = reroute_for_congestion(s)
+        assert plan.max_peak <= base_peak
+        assert plan.total_legs >= plan.detoured_legs >= 0
+
+    def test_detour_resolves_forced_collision(self):
+        # diamond: 0-1-3 and 0-2-3; two objects must cross 0->3 in the
+        # same window; one should take each side
+        net = Network(4, [(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)])
+        txns = [
+            Transaction(0, 0, {0, 1}),
+            Transaction(1, 3, {0, 1}),
+        ]
+        inst = Instance(net, txns, {0: 0, 1: 0})
+        s = Schedule(inst, {0: 1, 1: 3})
+        s.validate()
+        plan = reroute_for_congestion(s)
+        assert plan.max_peak == 1
+        assert plan.detoured_legs == 1
+
+    def test_no_slack_keeps_shortest_path(self):
+        txns = [Transaction(0, 0, {0}), Transaction(1, 4, {0})]
+        inst = Instance(line(5), txns, {0: 0})
+        s = Schedule(inst, {0: 1, 1: 5})  # tight: zero slack
+        plan = reroute_for_congestion(s)
+        (path,) = [p for p in plan.paths.values()]
+        assert path == (0, 1, 2, 3, 4)
+
+    def test_empty_when_no_movement(self):
+        inst = Instance(clique(2), [Transaction(0, 0, {0})], {0: 0})
+        plan = reroute_for_congestion(Schedule(inst, {0: 1}))
+        assert plan.total_legs == 0
+        assert plan.max_peak == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_peak_counts_match_manual_sweep(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        plan = reroute_for_congestion(s)
+        # peaks are at least 1 wherever traffic exists
+        assert all(v >= 1 for v in plan.peak_concurrency.values())

@@ -1,0 +1,152 @@
+"""Tests for the ASCII figure/schedule renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyScheduler, GridScheduler
+from repro.errors import TopologyError
+from repro.network import (
+    clique,
+    cluster,
+    grid,
+    lower_bound_grid,
+    lower_bound_tree,
+    star,
+)
+from repro.viz import (
+    render_block_graph,
+    render_cluster,
+    render_gantt,
+    render_line_blocks,
+    render_object_path,
+    render_star_rings,
+    render_subgrid_order,
+)
+from repro.workloads import random_k_subsets
+
+
+class TestFig1Line:
+    def test_blocks_alternate_phase_markers(self):
+        out = render_line_blocks(32, 8)
+        body = out.splitlines()[1]  # skip the legend
+        assert body.count("[") == 2  # two S1 blocks
+        assert body.count("(") == 2  # two S2 blocks
+        assert body.startswith("[v0") and "v31)" in body
+
+    def test_truncated_last_block(self):
+        out = render_line_blocks(10, 4)
+        assert "v9" in out
+        assert "ell=4" in out
+
+
+class TestFig2Grid:
+    def test_boustrophedon_order(self):
+        out = render_subgrid_order(16, 16, 4)
+        rows = [r.split() for r in out.splitlines()[1:]]
+        # first column top->bottom: 1..4; second bottom->top: 5..8
+        col0 = [int(r[0]) for r in rows]
+        col1 = [int(r[1]) for r in rows]
+        assert col0 == [1, 2, 3, 4]
+        assert col1 == [8, 7, 6, 5]
+
+    def test_object_path_marks_home_and_visits(self):
+        rng = np.random.default_rng(0)
+        inst = random_k_subsets(grid(8), w=8, k=2, rng=rng)
+        sched = GridScheduler(side=4).schedule(inst)
+        hot = max(inst.objects, key=inst.load)
+        out = render_object_path(sched, hot, cols=8)
+        assert "*" in out
+        assert "1" in out
+        assert len(out.splitlines()) == 9  # header + 8 rows
+
+
+class TestFig3Cluster:
+    def test_contains_bridges_and_gamma(self):
+        out = render_cluster(cluster(5, 6, gamma=8))
+        assert "gamma=8" in out
+        assert out.count("C") >= 5
+        assert "*0" in out  # first bridge node
+
+    def test_rejects_wrong_topology(self):
+        with pytest.raises(TopologyError):
+            render_cluster(clique(4))
+
+
+class TestFig4Star:
+    def test_rings_match_eta(self):
+        out = render_star_rings(star(8, 7))
+        assert "V1" in out and "V2" in out and "V3" in out
+        assert "V4" not in out
+        assert out.count("r") >= 8  # a row per ray
+
+    def test_rejects_wrong_topology(self):
+        with pytest.raises(TopologyError):
+            render_star_rings(clique(4))
+
+
+class TestFig56Blocks:
+    def test_grid_blocks(self):
+        out = render_block_graph(lower_bound_grid(4))
+        assert "[H1:4x2]" in out and "[H4:4x2]" in out
+        assert "=4=" in out  # inter-block weight
+
+    def test_tree_blocks(self):
+        out = render_block_graph(lower_bound_tree(4))
+        assert "comb-tree" in out
+
+    def test_rejects_wrong_topology(self):
+        with pytest.raises(TopologyError):
+            render_block_graph(clique(4))
+
+
+class TestGantt:
+    def test_marks_every_transaction(self):
+        rng = np.random.default_rng(1)
+        inst = random_k_subsets(clique(8), w=4, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        out = render_gantt(s)
+        assert out.count("#") == inst.m
+
+    def test_compression_for_long_schedules(self):
+        rng = np.random.default_rng(2)
+        inst = random_k_subsets(grid(6), w=4, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        out = render_gantt(s, max_width=10)
+        assert all(len(line) <= 25 for line in out.splitlines()[1:])
+
+    def test_subset_of_tids(self):
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(clique(6), w=3, k=2, rng=rng)
+        s = GreedyScheduler().schedule(inst)
+        out = render_gantt(s, tids=[0, 1])
+        assert out.count("#") == 2
+
+
+class TestDependencyRender:
+    def test_lists_conflicts_with_weights(self):
+        from repro.core import Instance, Transaction
+        from repro.network import line
+        from repro.viz import render_dependency
+
+        txns = [
+            Transaction(0, 0, {0}),
+            Transaction(1, 4, {0}),
+            Transaction(2, 6, {1}),
+        ]
+        inst = Instance(line(8), txns, {0: 0, 1: 6})
+        out = render_dependency(inst)
+        assert "h_max=4" in out
+        assert "T0: T1(w4)" in out
+        assert "T2" in out and "T2: -" in out  # no conflicts
+
+    def test_colour_annotation(self):
+        from repro.core import DependencyGraph, Instance, Transaction
+        from repro.core.coloring import greedy_color
+        from repro.network import clique
+        from repro.viz import render_dependency
+
+        txns = [Transaction(i, i, {0}) for i in range(3)]
+        inst = Instance(clique(3), txns, {0: 0})
+        colors = greedy_color(DependencyGraph.build(inst))
+        out = render_dependency(inst, colors)
+        assert "colour=1" in out

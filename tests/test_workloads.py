@@ -1,0 +1,171 @@
+"""Unit tests for workload generators and seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core.line import LineScheduler
+from repro.network import clique, cluster, line, star
+from repro.workloads import (
+    DEFAULT_SEED,
+    homes_at_random_requesters,
+    hot_object_instance,
+    line_span_instance,
+    partitioned_instance,
+    random_k_subsets,
+    root_rng,
+    spawn,
+    zipf_k_subsets,
+)
+
+
+class TestSeeds:
+    def test_root_rng_deterministic(self):
+        assert root_rng(1).integers(0, 1000) == root_rng(1).integers(0, 1000)
+
+    def test_root_rng_default_seed(self):
+        a = root_rng().integers(0, 10**9)
+        b = root_rng(DEFAULT_SEED).integers(0, 10**9)
+        assert a == b
+
+    def test_spawn_stable(self):
+        a = spawn(3, "exp", 5, "trial").integers(0, 10**9)
+        b = spawn(3, "exp", 5, "trial").integers(0, 10**9)
+        assert a == b
+
+    def test_spawn_key_sensitivity(self):
+        a = spawn(3, "exp", 5).integers(0, 10**9)
+        b = spawn(3, "exp", 6).integers(0, 10**9)
+        assert a != b
+
+    def test_spawn_order_sensitivity(self):
+        a = spawn(3, "a", "b").integers(0, 10**9)
+        b = spawn(3, "b", "a").integers(0, 10**9)
+        assert a != b
+
+
+class TestRandomKSubsets:
+    def test_shape(self):
+        rng = root_rng(0)
+        inst = random_k_subsets(clique(10), w=6, k=3, rng=rng)
+        assert inst.m == 10
+        assert all(t.k == 3 for t in inst.transactions)
+        assert inst.num_objects == 6
+
+    def test_homes_at_requesters(self):
+        rng = root_rng(1)
+        inst = random_k_subsets(clique(10), w=4, k=2, rng=rng)
+        assert inst.homes_at_requesters
+
+    def test_density_below_one(self):
+        rng = root_rng(2)
+        inst = random_k_subsets(clique(20), w=4, k=2, rng=rng, density=0.5)
+        assert inst.m == 10
+
+    def test_rejects_bad_k(self):
+        rng = root_rng(3)
+        with pytest.raises(ValueError):
+            random_k_subsets(clique(5), w=3, k=4, rng=rng)
+        with pytest.raises(ValueError):
+            random_k_subsets(clique(5), w=3, k=0, rng=rng)
+
+
+class TestZipf:
+    def test_skews_toward_low_ids(self):
+        rng = root_rng(4)
+        inst = zipf_k_subsets(clique(200), w=20, k=1, rng=rng, exponent=1.5)
+        assert inst.load(0) > inst.load(19)
+
+    def test_valid_instance(self):
+        rng = root_rng(5)
+        inst = zipf_k_subsets(clique(30), w=10, k=3, rng=rng)
+        assert all(t.k == 3 for t in inst.transactions)
+
+
+class TestHotObject:
+    def test_object_zero_everywhere(self):
+        rng = root_rng(6)
+        inst = hot_object_instance(clique(12), w=6, k=3, rng=rng)
+        assert inst.load(0) == 12
+        assert all(0 in t.objects for t in inst.transactions)
+
+    def test_k_one_only_hot(self):
+        rng = root_rng(7)
+        inst = hot_object_instance(clique(5), w=3, k=1, rng=rng)
+        assert all(t.objects == frozenset({0}) for t in inst.transactions)
+
+
+class TestPartitioned:
+    def test_fully_local_stays_in_group(self):
+        net = cluster(3, 4)
+        groups = net.topology.require("clusters")
+        rng = root_rng(8)
+        inst = partitioned_instance(
+            net, groups, objects_per_group=3, k=2, cross_fraction=0.0, rng=rng
+        )
+        for g, members in enumerate(groups):
+            pool = set(range(g * 3, (g + 1) * 3))
+            for node in members:
+                t = inst.transaction_at(node)
+                assert t.objects <= pool
+
+    def test_cross_fraction_validated(self):
+        net = cluster(2, 3)
+        groups = net.topology.require("clusters")
+        with pytest.raises(ValueError):
+            partitioned_instance(net, groups, 2, 2, 1.5, root_rng(9))
+
+    def test_k_capped_by_pool(self):
+        net = cluster(2, 3)
+        groups = net.topology.require("clusters")
+        with pytest.raises(ValueError):
+            partitioned_instance(net, groups, 2, 3, 0.0, root_rng(10))
+
+    def test_on_star_rays(self):
+        net = star(4, 6)
+        rays = net.topology.require("rays")
+        inst = partitioned_instance(
+            net, rays, objects_per_group=3, k=2, cross_fraction=0.2,
+            rng=root_rng(11),
+        )
+        # the center hosts no transaction in this workload
+        assert inst.transaction_at(0) is None
+        assert inst.m == 24
+
+
+class TestLineSpan:
+    def test_controls_ell(self):
+        # w * max_span covers the line, so every requester span stays
+        # within the window and ell <= 1.5 * max_span
+        net = line(60)
+        rng = root_rng(12)
+        inst = line_span_instance(net, w=12, k=2, max_span=5, rng=rng)
+        for obj in inst.objects:
+            users = inst.users(obj)
+            if users:
+                nodes = [t.node for t in users]
+                assert max(nodes) - min(nodes) <= 5
+        assert LineScheduler.ell(inst) <= 8  # 1.5 * 5 rounded up
+
+    def test_sparse_windows_stretch_to_cover(self):
+        # too few objects to honour max_span: windows stretch to ceil(n/w)
+        net = line(60)
+        inst = line_span_instance(net, w=4, k=1, max_span=2, rng=root_rng(15))
+        for obj in inst.objects:
+            users = inst.users(obj)
+            if users:
+                nodes = [t.node for t in users]
+                assert max(nodes) - min(nodes) <= 15
+
+    def test_rejects_negative_span(self):
+        with pytest.raises(ValueError):
+            line_span_instance(line(10), 2, 1, -1, root_rng(13))
+
+
+class TestHomes:
+    def test_homes_pick_requesters(self):
+        from repro.core import Transaction
+
+        txns = [Transaction(0, 3, {0}), Transaction(1, 5, {0})]
+        homes = homes_at_random_requesters(txns, 2, root_rng(14))
+        assert homes[0] in (3, 5)
+        assert homes[1] == 0  # unused -> fallback node
