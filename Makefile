@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments figures quick-experiments clean
+.PHONY: install test ci bench experiments figures quick-experiments clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# the tier-1 gate run by .github/workflows/ci.yml: fail fast, no
+# install step needed (PYTHONPATH picks up the source tree directly)
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,60 @@
+"""Bench E17 (extension): fault-aware replay and degradation."""
+
+import numpy as np
+
+from repro.core import GreedyScheduler
+from repro.experiments import run_experiment
+from repro.faults import FaultPlan, LinkFailure, faulty_execute, random_fault_plan
+from repro.network import grid
+from repro.workloads import random_k_subsets
+
+from conftest import SEED
+
+
+def test_kernel_faulty_execute_healthy(benchmark):
+    # the zero-distortion path: overhead of the fault layer itself
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(10), w=32, k=2, rng=rng)
+    sched = GreedyScheduler().schedule(inst)
+    empty = FaultPlan()
+    trace = benchmark(lambda: faulty_execute(sched, empty))
+    assert trace.makespan == sched.makespan
+    assert trace.retries == trace.reroutes == trace.recoveries == 0
+
+
+def test_kernel_faulty_execute_disrupted(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(10), w=32, k=2, rng=rng)
+    sched = GreedyScheduler().schedule(inst)
+    plan = random_fault_plan(
+        inst.network, sched.makespan, np.random.default_rng(SEED),
+        intensity=2.0, objects=inst.objects,
+    )
+    trace = benchmark(lambda: faulty_execute(sched, plan))
+    assert trace.committed == inst.m
+
+
+def test_kernel_reroute_around_failure(benchmark):
+    rng = np.random.default_rng(SEED)
+    inst = random_k_subsets(grid(10), w=32, k=2, rng=rng)
+    sched = GreedyScheduler().schedule(inst)
+    plan = FaultPlan(
+        [LinkFailure(u, u + 1, 0, None) for u in range(0, 3)]
+    )
+    trace = benchmark(lambda: faulty_execute(sched, plan))
+    assert trace.committed == inst.m
+
+
+def test_table_e17(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e17", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e17", table)
+    for row in table.rows:
+        if row["intensity"] == 0.0:
+            # the healthy path is exact: no distortion, no recovery work
+            assert row["stretch"] == 1.0
+            assert row["retries"] == row["reroutes"] == row["recoveries"] == 0.0
+        assert 0.0 < row["commit_rate"] <= 1.0

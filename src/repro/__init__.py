@@ -31,6 +31,7 @@ from . import (
     bounds,
     controlflow,
     core,
+    faults,
     io,
     network,
     online,
@@ -39,6 +40,7 @@ from . import (
     viz,
     workloads,
 )
+from .errors import FaultError, RecoveryError, ReproError
 from .placement import median_node, optimize_homes
 from .core import (
     Instance,
@@ -58,6 +60,7 @@ __all__ = [
     "bounds",
     "controlflow",
     "core",
+    "faults",
     "io",
     "network",
     "online",
@@ -65,6 +68,9 @@ __all__ = [
     "sim",
     "viz",
     "workloads",
+    "ReproError",
+    "FaultError",
+    "RecoveryError",
     "Transaction",
     "Instance",
     "Schedule",

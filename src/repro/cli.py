@@ -182,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p_run = sub.add_parser("run", help="run experiment tables")
-    p_run.add_argument("experiments", nargs="+", help="e1..e13 or 'all'")
+    p_run.add_argument("experiments", nargs="+", help="e1..e17 or 'all'")
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--markdown", action="store_true")
@@ -219,7 +219,7 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--seed", type=int, default=None)
     p_rep.add_argument("--full", action="store_true",
                        help="full sweeps (default: quick)")
-    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e15")
+    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e17")
     p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

@@ -40,3 +40,24 @@ class TopologyError(ReproError):
 
 class SchedulingError(ReproError):
     """A scheduler failed to produce a schedule (internal invariant broken)."""
+
+
+class FaultError(ReproError):
+    """Fault-tolerant execution could not absorb an injected fault.
+
+    Raised by :func:`repro.faults.faulty_execute` when a disruption exceeds
+    the recovery machinery's tolerance: a hop stays blocked past the bounded
+    retry budget (e.g. a permanently failed link with no detour), or an
+    object becomes unrecoverable.  A *handled* fault never raises -- it is
+    absorbed and accounted for in the degradation report.
+    """
+
+
+class RecoveryError(FaultError):
+    """Recovery rescheduling after a fault is impossible.
+
+    Raised when the surviving suffix of a disrupted run cannot be
+    rescheduled -- typically because permanent link failures disconnect the
+    degraded network, so no feasible recovery schedule exists for the
+    surviving transactions.
+    """

@@ -22,6 +22,7 @@ from . import (
     e14_replication,
     e15_controlflow,
     e16_placement,
+    e17_faults,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -43,6 +44,7 @@ _MODULES = [
     e14_replication,
     e15_controlflow,
     e16_placement,
+    e17_faults,
 ]
 
 EXPERIMENTS: Mapping[str, Callable[..., Table]] = {

@@ -1,0 +1,63 @@
+"""Recovery rescheduling: replan the surviving suffix after a crash.
+
+When a node crash strands uncommitted transactions, the engine hands the
+survivors to :func:`reschedule_survivors`: a fresh batch instance is built
+over the *current* object positions (crash-lost replicas already restored
+at their homes) and the *degraded* network (permanently failed links
+removed), scheduled with the generic greedy scheduler -- the one scheduler
+that is correct on arbitrary graphs (§2.3 / §3.1) -- and spliced into the
+timeline strictly after the recovery point.  The replay engine then
+continues through the spliced suffix, still absorbing transient faults
+hop-by-hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from ..core.greedy import GreedyScheduler
+from ..core.instance import Instance
+from ..core.transaction import Transaction
+from ..errors import RecoveryError, ReproError
+from .routing import degraded_network
+
+__all__ = ["reschedule_survivors"]
+
+Edge = Tuple[int, int]
+
+
+def reschedule_survivors(
+    instance: Instance,
+    survivors: Sequence[Transaction],
+    positions: Mapping[int, int],
+    down: FrozenSet[Edge],
+    base: int,
+) -> Dict[int, int]:
+    """New commit times for ``survivors``, all strictly after ``base``.
+
+    ``positions`` are the objects' current nodes (the recovery instance's
+    homes); ``down`` are the permanently failed links excluded from the
+    degraded planning substrate.  Returns ``tid -> commit time``; commit
+    times are ``base + t`` with ``t >= 1`` from the greedy recovery
+    schedule, so the splice never collides with already-realized commits.
+
+    Raises :class:`RecoveryError` if the degraded network is disconnected
+    or the recovery batch cannot be scheduled.
+    """
+    if not survivors:
+        return {}
+    net = degraded_network(instance.network, down)
+    needed = set()
+    for t in survivors:
+        needed |= t.objects
+    homes = {obj: positions[obj] for obj in needed}
+    try:
+        rinst = Instance(net, survivors, homes)
+        rsched = GreedyScheduler().schedule(rinst)
+        rsched.validate()
+    except ReproError as exc:
+        raise RecoveryError(
+            f"cannot reschedule {len(survivors)} surviving transactions "
+            f"after crash recovery: {exc}"
+        ) from exc
+    return {t.tid: base + rsched.time_of(t.tid) for t in survivors}

@@ -1,0 +1,106 @@
+"""Degradation reports: the robustness/performance trade-off, measured.
+
+A :class:`DegradationReport` condenses a faulty replay into the numbers
+the E17 experiment tables: how much the realized makespan stretched over
+the plan, how many transactions survived, and how much recovery work
+(retries, reroutes, rescheduling rounds, deferred commits) absorbing the
+faults cost -- with per-fault attribution so a given stretch can be traced
+back to the events that caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.schedule import Schedule
+from .engine import FaultyTrace
+from .plan import FaultPlan
+
+__all__ = ["DegradationReport", "degradation_report"]
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Realized-vs-planned outcome of one faulty replay.
+
+    ``stretch`` is realized / planned makespan (1.0 on the healthy path);
+    ``attribution`` pairs each fault event's description with the number
+    of disruptions (waits, reroutes, recoveries) it caused, worst first.
+    """
+
+    planned_makespan: int
+    realized_makespan: int
+    stretch: float
+    planned_commits: int
+    committed: int
+    lost: int
+    retries: int
+    reroutes: int
+    recoveries: int
+    deferred_commits: int
+    fault_count: int
+    attribution: Tuple[Tuple[str, int], ...]
+
+    @property
+    def commit_rate(self) -> float:
+        """Fraction of planned transactions that actually committed."""
+        return self.committed / self.planned_commits
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data summary for tables."""
+        return {
+            "planned_makespan": self.planned_makespan,
+            "realized_makespan": self.realized_makespan,
+            "stretch": self.stretch,
+            "committed": self.committed,
+            "lost": self.lost,
+            "commit_rate": self.commit_rate,
+            "retries": self.retries,
+            "reroutes": self.reroutes,
+            "recoveries": self.recoveries,
+            "deferred_commits": self.deferred_commits,
+            "faults": self.fault_count,
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"planned makespan {self.planned_makespan}, realized "
+            f"{self.realized_makespan} (stretch {self.stretch:.3f})",
+            f"committed {self.committed}/{self.planned_commits} "
+            f"(lost {self.lost}); retries {self.retries}, reroutes "
+            f"{self.reroutes}, recoveries {self.recoveries}, deferred "
+            f"commits {self.deferred_commits}",
+        ]
+        for desc, count in self.attribution:
+            lines.append(f"  {count:4d} x {desc}")
+        return "\n".join(lines)
+
+
+def degradation_report(
+    schedule: Schedule, plan: FaultPlan, trace: FaultyTrace
+) -> DegradationReport:
+    """Build the report for ``trace`` = ``faulty_execute(schedule, plan)``."""
+    planned = schedule.makespan
+    realized = trace.makespan
+    attribution = tuple(
+        (plan.describe(idx), count)
+        for idx, count in sorted(
+            trace.attribution.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    )
+    return DegradationReport(
+        planned_makespan=planned,
+        realized_makespan=realized,
+        stretch=realized / planned if planned else 1.0,
+        planned_commits=len(schedule.commit_times),
+        committed=trace.committed,
+        lost=len(trace.lost),
+        retries=trace.retries,
+        reroutes=trace.reroutes,
+        recoveries=trace.recoveries,
+        deferred_commits=trace.deferred_commits,
+        fault_count=len(plan),
+        attribution=attribution,
+    )

@@ -1,0 +1,106 @@
+"""Routing around failed links.
+
+Two layers, cheapest first: :func:`path_avoiding` tries the shared detour
+machinery (:func:`repro.sim.reroute.detour_candidates` -- the shortest path
+plus via-an-intermediate-node alternatives) and returns the first candidate
+touching no down link; when every candidate is blocked it falls back to a
+full Dijkstra on the masked adjacency, which is complete: it finds a route
+iff one exists in the degraded graph.  :func:`degraded_network` rebuilds a
+:class:`~repro.network.graph.Network` without a set of edges -- the
+substrate recovery rescheduling plans against after permanent failures.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_array
+from scipy.sparse.csgraph import dijkstra
+
+from ..errors import GraphError, RecoveryError
+from ..network.graph import Network
+from ..sim.reroute import detour_candidates
+
+__all__ = ["path_avoiding", "degraded_network"]
+
+Edge = Tuple[int, int]
+
+
+def _edge(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+def _uses_down(path: List[int], down: FrozenSet[Edge]) -> bool:
+    return any(_edge(a, b) in down for a, b in zip(path, path[1:]))
+
+
+def _masked_path(
+    net: Network, src: int, dst: int, down: FrozenSet[Edge]
+) -> Optional[List[int]]:
+    """Shortest path in ``net`` minus ``down``, or None if disconnected."""
+    rows, cols, data = [], [], []
+    for u, v, w in net.edges():
+        if (u, v) in down:
+            continue
+        rows += [u, v]
+        cols += [v, u]
+        data += [w, w]
+    csr = csr_array(
+        (np.asarray(data, dtype=np.int64), (rows, cols)), shape=(net.n, net.n)
+    )
+    dist, pred = dijkstra(
+        csr, directed=False, indices=src, return_predecessors=True
+    )
+    if not np.isfinite(dist[dst]):
+        return None
+    path = [dst]
+    cur = dst
+    while cur != src:
+        cur = int(pred[cur])
+        path.append(cur)
+    path.reverse()
+    return path
+
+
+def path_avoiding(
+    net: Network,
+    src: int,
+    dst: int,
+    down: FrozenSet[Edge],
+    max_detours: int = 16,
+) -> Optional[List[int]]:
+    """A path from ``src`` to ``dst`` using no link in ``down``.
+
+    Prefers the healthy shortest path, then the cheapest detour candidates,
+    then a complete masked-graph search.  Returns None iff ``down``
+    disconnects ``dst`` from ``src``.
+    """
+    if src == dst:
+        return [src]
+    if not down:
+        return net.shortest_path(src, dst)
+    slack = 2 * int(net.distance_matrix.max())
+    for path in detour_candidates(net, src, dst, slack, max_detours):
+        if not _uses_down(path, down):
+            return path
+    return _masked_path(net, src, dst, down)
+
+
+def degraded_network(net: Network, down: FrozenSet[Edge]) -> Network:
+    """``net`` with the ``down`` edges removed.
+
+    Used by recovery rescheduling to plan the surviving suffix against the
+    links that will actually exist.  Raises :class:`RecoveryError` when the
+    removal disconnects the graph -- no recovery schedule can span a
+    partition.
+    """
+    if not down:
+        return net
+    kept = [(u, v, w) for u, v, w in net.edges() if (u, v) not in down]
+    try:
+        return Network(net.n, kept, topology=net.topology)
+    except GraphError as exc:
+        raise RecoveryError(
+            f"removing {sorted(down)} disconnects the network: {exc}"
+        ) from exc

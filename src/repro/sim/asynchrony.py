@@ -74,7 +74,11 @@ def asynchronous_execute(
             ready = max(ready, free_at[obj] + travel)
         commit = int(np.ceil(ready))
         realized[txn.tid] = commit
-        for obj in txn.objects:
+        # normalized to sorted order like the jitter-drawing loop above:
+        # replays must touch per-object state in one canonical order so a
+        # fixed seed yields a bit-identical result regardless of how the
+        # object set happens to iterate
+        for obj in sorted(txn.objects):
             position[obj] = txn.node
             free_at[obj] = commit
     return AsyncResult(realized_commits=realized, phi=phi)

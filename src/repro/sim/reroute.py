@@ -23,7 +23,7 @@ import numpy as np
 from ..core.schedule import Schedule
 from ..errors import InfeasibleScheduleError
 
-__all__ = ["ReroutePlan", "reroute_for_congestion"]
+__all__ = ["ReroutePlan", "detour_candidates", "reroute_for_congestion"]
 
 Edge = Tuple[int, int]
 
@@ -83,6 +83,43 @@ def _peak_increase(
     return worst
 
 
+def detour_candidates(
+    net, src: int, dst: int, slack: int, max_detours: int = 8
+) -> List[List[int]]:
+    """Candidate paths from ``src`` to ``dst``: shortest path, then detours.
+
+    Returns the base shortest path first, followed by up to ``max_detours``
+    paths through an intermediate node whose added length does not exceed
+    ``slack``, nearest candidates first (``extra == 0`` captures equal-length
+    alternative shortest paths).  This is the shared detour machinery: the
+    congestion rerouter picks the least-loaded candidate, and the fault
+    engine (:mod:`repro.faults`) picks the first candidate avoiding failed
+    links.
+
+    Vectorized over the distance matrix: the scalar ``dist()`` loop here
+    dominated the whole rerouter (profiled in bench_kernels.py).
+    """
+    base_path = net.shortest_path(src, dst)
+    on_base = set(base_path)
+    candidates = [base_path]
+    dmat = net.distance_matrix
+    extra = dmat[src] + dmat[:, dst] - dmat[src, dst]
+    eligible = np.flatnonzero(extra <= slack)
+    order = eligible[np.argsort(extra[eligible], kind="stable")]
+    taken = 0
+    for mid in order:
+        mid = int(mid)
+        if mid in on_base:
+            continue
+        candidates.append(
+            net.shortest_path(src, mid)[:-1] + net.shortest_path(mid, dst)
+        )
+        taken += 1
+        if taken >= max_detours:
+            break
+    return candidates
+
+
 def reroute_for_congestion(
     schedule: Schedule, max_detours: int = 8
 ) -> ReroutePlan:
@@ -113,28 +150,8 @@ def reroute_for_congestion(
     paths: Dict[Tuple[int, int, int, int], Tuple[int, ...]] = {}
     detoured = 0
     for slack, obj, depart, src, dst in legs:
-        base_path = net.shortest_path(src, dst)
-        on_base = set(base_path)
-        candidates = [base_path]
-        # alternatives through an intermediate node, least-added first;
-        # extra == 0 captures equal-length alternative shortest paths.
-        # Vectorized over the distance matrix: the scalar dist() loop here
-        # dominated the whole rerouter (profiled in bench_kernels.py).
-        dmat = net.distance_matrix
-        extra = dmat[src] + dmat[:, dst] - dmat[src, dst]
-        eligible = np.flatnonzero(extra <= slack)
-        order = eligible[np.argsort(extra[eligible], kind="stable")]
-        taken = 0
-        for mid in order:
-            mid = int(mid)
-            if mid in on_base:
-                continue
-            candidates.append(
-                net.shortest_path(src, mid)[:-1] + net.shortest_path(mid, dst)
-            )
-            taken += 1
-            if taken >= max_detours:
-                break
+        candidates = detour_candidates(net, src, dst, slack, max_detours)
+        base_path = candidates[0]
         best_path, best_cost = None, None
         for path in candidates:
             intervals = _path_intervals(net, path, depart)

@@ -20,6 +20,7 @@ SUBMODULES = [
     "repro.workloads",
     "repro.analysis",
     "repro.online",
+    "repro.faults",
     "repro.replication",
     "repro.controlflow",
     "repro.io",

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.errors import (
+    FaultError,
     GraphError,
     InfeasibleScheduleError,
     InstanceError,
+    RecoveryError,
     ReproError,
     SchedulingError,
     TopologyError,
@@ -21,12 +23,27 @@ class TestHierarchy:
             InfeasibleScheduleError,
             TopologyError,
             SchedulingError,
+            FaultError,
+            RecoveryError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
         with pytest.raises(ReproError):
             raise exc("boom")
+
+    def test_recovery_error_is_a_fault_error(self):
+        # callers handling fault-layer failures with one except clause
+        # must also catch failed recoveries
+        assert issubclass(RecoveryError, FaultError)
+        with pytest.raises(FaultError):
+            raise RecoveryError("partitioned")
+
+    def test_fault_errors_importable_from_top_level(self):
+        import repro
+
+        assert repro.FaultError is FaultError
+        assert repro.RecoveryError is RecoveryError
 
     def test_one_except_clause_catches_library_failures(self):
         from repro.core import Instance, Transaction

@@ -13,7 +13,17 @@ import pytest
 
 from repro.controlflow import ControlFlowScheduler, LockInterval
 from repro.core import GreedyScheduler, Schedule
-from repro.errors import InfeasibleScheduleError, ReproError
+from repro.errors import FaultError, InfeasibleScheduleError, ReproError
+from repro.faults import (
+    DelaySpike,
+    FaultPlan,
+    LinkFailure,
+    NodeCrash,
+    ObjectStall,
+    RetryPolicy,
+    faulty_execute,
+    random_fault_plan,
+)
 from repro.io import schedule_from_dict, schedule_to_dict
 from repro.network import grid, line
 from repro.replication import (
@@ -186,3 +196,102 @@ class TestPayloadCorruption:
         text = json.dumps(payload)
         again = schedule_from_dict(json.loads(text))
         again.validate()
+
+
+class TestRuntimeFaultInjection:
+    """Faults injected at replay time: absorbed or typed, never a crash.
+
+    Every fault class thrown at ``faulty_execute`` must either be absorbed
+    (the trace completes, possibly with losses) or surface as a typed
+    :class:`FaultError` -- a bare KeyError/AssertionError escaping the
+    engine is a bug.
+    """
+
+    @pytest.fixture
+    def sched(self):
+        rng = root_rng(5)
+        inst = random_k_subsets(grid(5), w=6, k=2, rng=rng)
+        return GreedyScheduler().schedule(inst)
+
+    def _replay(self, sched, plan, policy=None):
+        try:
+            return faulty_execute(sched, plan, policy=policy)
+        except FaultError:
+            return None  # typed surfacing is an acceptable outcome
+        # anything else propagates and fails the test
+
+    def test_every_single_link_failure_absorbed(self, sched):
+        net = sched.instance.network
+        for u, v, _ in net.edges():
+            for end in (sched.makespan + 1, None):
+                plan = FaultPlan([LinkFailure(u, v, 1, end)])
+                trace = self._replay(sched, plan)
+                if trace is not None:
+                    assert trace.committed + len(trace.lost) == sched.instance.m
+                    if end is not None:
+                        # repairable failure: nothing may be lost
+                        assert trace.committed == sched.instance.m
+
+    def test_every_single_node_crash_absorbed(self, sched):
+        horizon = sched.makespan
+        for node in range(sched.instance.network.n):
+            for t in (0, horizon // 2, horizon + 1):
+                plan = FaultPlan([NodeCrash(node, t)])
+                trace = self._replay(sched, plan)
+                if trace is not None:
+                    assert trace.committed + len(trace.lost) == sched.instance.m
+
+    def test_every_object_stall_absorbed(self, sched):
+        for obj in sched.instance.objects:
+            plan = FaultPlan([ObjectStall(obj, 1, sched.makespan + 2)])
+            trace = self._replay(sched, plan)
+            if trace is not None:
+                assert trace.committed == sched.instance.m
+
+    def test_delay_spikes_absorbed(self, sched):
+        net = sched.instance.network
+        events = [
+            DelaySpike(u, v, 1, sched.makespan + 1, 3.0)
+            for u, v, _ in net.edges()
+        ]
+        trace = self._replay(sched, FaultPlan(events))
+        if trace is not None:
+            assert trace.committed == sched.instance.m
+            assert trace.makespan >= sched.makespan
+
+    def test_exhausted_retries_surface_as_fault_error(self, sched):
+        # a stall longer than the whole retry budget must raise FaultError,
+        # not hang or die with an internal exception
+        obj = sched.instance.objects[0]
+        plan = FaultPlan([ObjectStall(obj, 0, 10**9)])
+        policy = RetryPolicy(max_retries=3, max_wait=4)
+        with pytest.raises(FaultError):
+            faulty_execute(sched, plan, policy=policy)
+
+    def test_random_storm_never_raises_untyped(self, sched):
+        # a hostile storm of every fault kind at once
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            plan = random_fault_plan(
+                sched.instance.network,
+                sched.makespan,
+                rng,
+                intensity=4.0,
+                crash_rate=0.1,
+                permanent_fraction=0.3,
+                objects=sched.instance.objects,
+            )
+            trace = self._replay(sched, plan)
+            if trace is not None:
+                assert trace.committed + len(trace.lost) == sched.instance.m
+
+    def test_malformed_events_rejected_with_fault_error(self):
+        for bad in (
+            lambda: FaultPlan([LinkFailure(0, 1, 5, 5)]),
+            lambda: FaultPlan([NodeCrash(0, -1)]),
+            lambda: FaultPlan([ObjectStall(0, 3, 2)]),
+            lambda: FaultPlan([DelaySpike(0, 1, 0, 4, 0.5)]),
+            lambda: FaultPlan(["not-an-event"]),
+        ):
+            with pytest.raises(FaultError):
+                bad()

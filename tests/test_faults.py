@@ -1,0 +1,411 @@
+"""Unit tests for the fault-tolerant execution layer (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedyScheduler, Instance, Schedule, Transaction
+from repro.errors import FaultError, RecoveryError, ReproError
+from repro.faults import (
+    DelaySpike,
+    FaultPlan,
+    LinkFailure,
+    NodeCrash,
+    ObjectStall,
+    RetryPolicy,
+    degradation_report,
+    degraded_network,
+    faulty_execute,
+    path_avoiding,
+    random_fault_plan,
+    reschedule_survivors,
+)
+from repro.network import clique, grid, line
+from repro.network.graph import Network
+from repro.sim import execute
+from repro.workloads import random_k_subsets, root_rng
+
+
+def scheduled(net, w=6, k=2, seed=0):
+    inst = random_k_subsets(net, w=w, k=k, rng=root_rng(seed))
+    s = GreedyScheduler().schedule(inst)
+    s.validate()
+    return s
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.down_edges(5) == frozenset()
+        assert plan.crash_time(0) is None
+
+    def test_window_queries(self):
+        plan = FaultPlan([LinkFailure(3, 1, 5, 10)])
+        assert plan.link_down(1, 3, 4) is None
+        assert plan.link_down(1, 3, 5) is not None
+        assert plan.link_down(3, 1, 9) is not None  # edge order normalized
+        assert plan.link_down(1, 3, 10) is None  # repaired at end
+        assert plan.down_edges(7) == frozenset({(1, 3)})
+        assert plan.permanent_down_edges(7) == frozenset()
+
+    def test_permanent_failure(self):
+        plan = FaultPlan([LinkFailure(0, 1, 2, None)])
+        assert plan.link_down(0, 1, 10**9) is not None
+        assert plan.permanent_down_edges(3) == frozenset({(0, 1)})
+
+    def test_earliest_crash_wins(self):
+        plan = FaultPlan([NodeCrash(4, 20), NodeCrash(4, 7)])
+        assert plan.crash_time(4) == 7
+
+    def test_stall_and_spike_queries(self):
+        plan = FaultPlan(
+            [
+                ObjectStall(2, 3, 6),
+                DelaySpike(0, 1, 2, 8, 2.0),
+                DelaySpike(1, 0, 4, 6, 3.0),
+            ]
+        )
+        assert plan.stall(2, 3) is not None
+        assert plan.stall(2, 6) is None
+        assert plan.delay_factor(0, 1, 5) == (3.0, plan.events[2])
+        assert plan.delay_factor(0, 1, 7)[0] == 2.0
+        assert plan.delay_factor(0, 1, 1) == (1.0, None)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            LinkFailure(0, 1, -1, 5),
+            LinkFailure(0, 1, 5, 5),
+            NodeCrash(0, -2),
+            ObjectStall(0, 4, 4),
+            DelaySpike(0, 1, 0, 5, 0.5),
+            "not an event",
+        ],
+    )
+    def test_validation_rejects(self, bad):
+        with pytest.raises(FaultError):
+            FaultPlan([bad])
+
+    def test_attribution_indexing(self):
+        events = [LinkFailure(0, 1, 0, 5), NodeCrash(2, 3)]
+        plan = FaultPlan(events)
+        for i in range(len(plan)):
+            assert plan.describe(i)
+        assert plan.index_of(plan.events[1]) == 1
+
+    def test_random_plan_deterministic_and_scaled(self):
+        net = grid(5)
+        a = random_fault_plan(net, 50, np.random.default_rng(1), 2.0,
+                              crash_rate=0.05, objects=range(6))
+        b = random_fault_plan(net, 50, np.random.default_rng(1), 2.0,
+                              crash_rate=0.05, objects=range(6))
+        assert a.events == b.events
+        empty = random_fault_plan(net, 50, np.random.default_rng(1), 0.0)
+        assert empty.is_empty
+
+
+class TestHealthyPathExactness:
+    """An empty plan must add zero distortion: trace equals sim.execute."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("make_net", [lambda: grid(6), lambda: line(18),
+                                          lambda: clique(12)])
+    def test_trace_parity(self, make_net, seed):
+        s = scheduled(make_net(), seed=seed)
+        healthy = execute(s)
+        trace = faulty_execute(s, FaultPlan())
+        assert trace.makespan == healthy.makespan
+        assert trace.commits == healthy.commits
+        assert trace.total_distance == healthy.total_distance
+        assert trace.object_distance == healthy.object_distance
+        assert trace.edge_traffic == healthy.edge_traffic
+        assert trace.max_in_flight == healthy.max_in_flight
+        assert trace.idle_object_time == healthy.idle_object_time
+        assert trace.retries == trace.reroutes == 0
+        assert trace.recoveries == trace.deferred_commits == 0
+        assert not trace.lost and not trace.attribution
+
+
+class TestLinkFailures:
+    def test_detour_absorbs_failure(self):
+        # diamond: short way 0-1-3 (len 2), long way 0-2-3 (len 4);
+        # failing (0,1) forces the strictly longer detour
+        net = Network(4, [(0, 1, 1), (1, 3, 1), (0, 2, 2), (2, 3, 2)])
+        inst = Instance(
+            net,
+            [Transaction(0, 0, {0}), Transaction(1, 3, {0})],
+            {0: 0},
+        )
+        s = Schedule(inst, {0: 1, 1: 5})
+        trace = faulty_execute(s, FaultPlan([LinkFailure(0, 1, 0, None)]))
+        assert trace.committed == 2
+        assert trace.reroutes == 1
+        assert (0, 2) in trace.edge_traffic and (0, 1) not in trace.edge_traffic
+        assert trace.makespan == 5  # detour arrives exactly at the deadline
+
+    def test_waits_for_repair_when_partitioned(self):
+        # a line has no detours: the object must wait out the window
+        inst = Instance(
+            line(4),
+            [Transaction(0, 0, {0}), Transaction(1, 3, {0})],
+            {0: 0},
+        )
+        s = Schedule(inst, {0: 1, 1: 4})
+        plan = FaultPlan([LinkFailure(1, 2, 0, 8)])
+        trace = faulty_execute(s, plan)
+        assert trace.committed == 2
+        assert trace.retries >= 1
+        assert trace.deferred_commits == 1
+        assert trace.realized_commits[1] >= 8 + 2  # repair + remaining hops
+        assert plan.index_of(plan.events[0]) in trace.attribution
+
+    def test_permanent_partition_raises_fault_error(self):
+        inst = Instance(
+            line(4),
+            [Transaction(0, 0, {0}), Transaction(1, 3, {0})],
+            {0: 0},
+        )
+        s = Schedule(inst, {0: 1, 1: 4})
+        plan = FaultPlan([LinkFailure(1, 2, 0, None)])
+        with pytest.raises(FaultError):
+            faulty_execute(s, plan, RetryPolicy(max_retries=6))
+
+    def test_mid_route_failure_rerouted(self):
+        # failure window opens while the object is already underway
+        net = grid(5)
+        s = scheduled(net, seed=3)
+        # fail a central edge for the whole run; grid always has detours
+        plan = FaultPlan([LinkFailure(11, 12, 0, None)])
+        trace = faulty_execute(s, plan)
+        assert trace.committed == len(s.commit_times)
+        assert (11, 12) not in trace.edge_traffic
+
+
+class TestObjectStallsAndSpikes:
+    def test_stall_defers_commit(self):
+        inst = Instance(
+            line(3),
+            [Transaction(0, 0, {0}), Transaction(1, 2, {0})],
+            {0: 0},
+        )
+        s = Schedule(inst, {0: 1, 1: 3})
+        trace = faulty_execute(s, FaultPlan([ObjectStall(0, 1, 6)]))
+        assert trace.committed == 2
+        assert trace.deferred_commits == 1
+        assert trace.realized_commits[1] >= 8
+        assert trace.retries >= 1
+
+    def test_spike_stretches_hops(self):
+        inst = Instance(
+            line(3),
+            [Transaction(0, 0, {0}), Transaction(1, 2, {0})],
+            {0: 0},
+        )
+        s = Schedule(inst, {0: 1, 1: 3})
+        trace = faulty_execute(
+            s, FaultPlan([DelaySpike(0, 1, 0, 100, 3.0),
+                          DelaySpike(1, 2, 0, 100, 3.0)])
+        )
+        assert trace.committed == 2
+        # both unit hops now take 3 steps: depart t=1, arrive t=7
+        assert trace.realized_commits[1] == 7
+        assert trace.deferred_commits == 1
+
+    def test_unyielding_stall_raises(self):
+        inst = Instance(
+            line(3),
+            [Transaction(0, 0, {0}), Transaction(1, 2, {0})],
+            {0: 0},
+        )
+        s = Schedule(inst, {0: 1, 1: 3})
+        plan = FaultPlan([ObjectStall(0, 1, 10**9)])
+        with pytest.raises(FaultError):
+            faulty_execute(s, plan, RetryPolicy(max_retries=5))
+
+
+class TestNodeCrashRecovery:
+    def make(self, seed=2):
+        net = grid(5)
+        inst = random_k_subsets(net, w=6, k=2, rng=root_rng(seed))
+        s = GreedyScheduler().schedule(inst)
+        s.validate()
+        return inst, s
+
+    def test_survivors_all_commit(self):
+        inst, s = self.make()
+        victim = inst.transactions[-1].node
+        crash_t = s.makespan // 2
+        plan = FaultPlan([NodeCrash(victim, crash_t)])
+        trace = faulty_execute(s, plan)
+        committed = {c.tid for c in trace.commits}
+        lost = {tid for tid, _ in trace.lost}
+        for t in inst.transactions:
+            if t.node == victim:
+                assert t.tid in committed or t.tid in lost
+            else:
+                # every transaction on a surviving node commits (homes of
+                # this workload are at requesters, all alive)
+                assert t.tid in committed, t
+        assert committed | lost == {t.tid for t in inst.transactions}
+        assert trace.recoveries >= (1 if lost else 0)
+
+    def test_crash_before_start_strands_node_txn(self):
+        inst, s = self.make(seed=5)
+        victim_txn = inst.transactions[0]
+        plan = FaultPlan([NodeCrash(victim_txn.node, 0)])
+        trace = faulty_execute(s, plan)
+        assert victim_txn.tid in {tid for tid, _ in trace.lost}
+        assert victim_txn.tid not in trace.realized_commits
+
+    def test_crash_after_makespan_changes_nothing(self):
+        inst, s = self.make(seed=7)
+        plan = FaultPlan([NodeCrash(inst.transactions[0].node,
+                                    s.makespan + 100)])
+        trace = faulty_execute(s, plan)
+        assert trace.commits == execute(s).commits
+        assert trace.recoveries == 0
+
+    def test_unrecoverable_object_loses_dependents(self):
+        # object 0 lives (and stays) at node 1; crash node 1 before anyone
+        # uses it: both users must be lost, not crash the engine
+        net = line(4)
+        txns = [Transaction(0, 1, {0}), Transaction(1, 3, {0})]
+        inst = Instance(net, txns, {0: 1})
+        s = Schedule(inst, {0: 1, 1: 4})
+        trace = faulty_execute(s, FaultPlan([NodeCrash(1, 0)]))
+        lost = dict(trace.lost)
+        assert set(lost) == {0, 1}
+        assert "unrecoverable" in lost[1] or "crashed" in lost[1]
+        assert trace.committed == 0
+
+    def test_restored_from_home_after_crash(self):
+        # object homed at node 0, used at node 2 then node 3; node 2
+        # crashes after its commit, the replica parked there is lost, and
+        # the home copy serves transaction 1 after recovery
+        net = line(4)
+        txns = [Transaction(0, 2, {0}), Transaction(1, 3, {0})]
+        inst = Instance(net, txns, {0: 0})
+        s = Schedule(inst, {0: 2, 1: 10})
+        plan = FaultPlan([NodeCrash(2, 4)])
+        trace = faulty_execute(s, plan)
+        assert trace.realized_commits[0] == 2  # committed before the crash
+        assert 1 in trace.realized_commits  # recovered and committed
+        assert trace.recoveries == 1
+        # the recovered leg runs home(0) -> 3, re-crossing edges (0,1)
+        assert trace.edge_traffic.get((0, 1), 0) >= 1
+
+    def test_deterministic_fixed_seed(self):
+        net = grid(6)
+        inst = random_k_subsets(net, w=8, k=2, rng=root_rng(11))
+        s = GreedyScheduler().schedule(inst)
+        plan = random_fault_plan(net, s.makespan, np.random.default_rng(13),
+                                 intensity=2.0, crash_rate=0.05,
+                                 objects=inst.objects)
+        a = faulty_execute(s, plan)
+        b = faulty_execute(s, plan)
+        assert a.realized_commits == b.realized_commits
+        assert a.commits == b.commits
+        assert a.lost == b.lost
+        assert a.makespan == b.makespan
+
+
+class TestRecoveryScheduler:
+    def test_empty_survivors(self):
+        net = line(4)
+        inst = Instance(net, [Transaction(0, 0, {0})], {0: 0})
+        assert reschedule_survivors(inst, [], {0: 0}, frozenset(), 5) == {}
+
+    def test_splice_strictly_after_base(self):
+        net = grid(4)
+        inst = random_k_subsets(net, w=5, k=2, rng=root_rng(3))
+        pos = {o: inst.home(o) for o in inst.objects}
+        out = reschedule_survivors(
+            inst, list(inst.transactions), pos, frozenset(), 100
+        )
+        assert set(out) == {t.tid for t in inst.transactions}
+        assert all(v > 100 for v in out.values())
+
+    def test_degraded_network_drops_edges(self):
+        net = grid(3)
+        deg = degraded_network(net, frozenset({(0, 1)}))
+        assert not deg.has_edge(0, 1)
+        assert deg.n == net.n
+
+    def test_degraded_network_partition_raises(self):
+        with pytest.raises(RecoveryError):
+            degraded_network(line(4), frozenset({(1, 2)}))
+
+    def test_recovery_error_is_fault_and_repro_error(self):
+        assert issubclass(RecoveryError, FaultError)
+        assert issubclass(RecoveryError, ReproError)
+
+
+class TestPathAvoiding:
+    def test_no_faults_is_shortest_path(self):
+        net = grid(4)
+        assert path_avoiding(net, 0, 15, frozenset()) == \
+            net.shortest_path(0, 15)
+
+    def test_avoids_down_edges(self):
+        net = grid(4)
+        down = frozenset({(0, 1), (0, 4)})
+        path = path_avoiding(net, 0, 15, down)
+        assert path is None  # node 0 fully cut off
+        down = frozenset({(0, 1)})
+        path = path_avoiding(net, 0, 15, down)
+        assert path is not None
+        assert all((min(a, b), max(a, b)) not in down
+                   for a, b in zip(path, path[1:]))
+
+    def test_masked_fallback_complete(self):
+        # with detour candidates disabled the masked Dijkstra fallback
+        # must still find the way around the ladder
+        net = grid(2, 5)
+        down = frozenset({(0, 1)})
+        path = path_avoiding(net, 0, 1, down, max_detours=0)
+        assert path == [0, 5, 6, 1]
+
+
+class TestDegradationReport:
+    def test_healthy_report(self):
+        s = scheduled(grid(5), seed=1)
+        plan = FaultPlan()
+        rep = degradation_report(s, plan, faulty_execute(s, plan))
+        assert rep.stretch == 1.0
+        assert rep.commit_rate == 1.0
+        assert rep.lost == 0 and rep.fault_count == 0
+        assert rep.attribution == ()
+        assert "stretch 1.000" in rep.render()
+
+    def test_disrupted_report_attributes_faults(self):
+        s = scheduled(line(12), seed=4)
+        plan = FaultPlan([LinkFailure(5, 6, 1, 20),
+                          DelaySpike(2, 3, 0, 50, 4.0)])
+        trace = faulty_execute(s, plan)
+        rep = degradation_report(s, plan, trace)
+        assert rep.realized_makespan >= rep.planned_makespan
+        assert rep.stretch >= 1.0
+        assert rep.fault_count == 2
+        d = rep.as_dict()
+        for key in ("stretch", "commit_rate", "retries", "recoveries"):
+            assert key in d
+        if trace.attribution:
+            descs = [desc for desc, _ in rep.attribution]
+            assert all(isinstance(x, str) for x in descs)
+
+    def test_e17_runs(self):
+        from repro.experiments import run_experiment
+
+        table = run_experiment("e17", seed=123, quick=True)
+        topologies = {row["topology"] for row in table.rows}
+        assert {"line", "grid"} <= topologies
+        intensities = sorted({row["intensity"] for row in table.rows})
+        assert len(intensities) >= 3
+        for row in table.rows:
+            if row["intensity"] == 0.0:
+                assert row["stretch"] == 1.0
+                assert row["recoveries"] == 0.0
+        # deterministic given the seed
+        again = run_experiment("e17", seed=123, quick=True)
+        assert again.rows == table.rows

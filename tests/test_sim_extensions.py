@@ -117,3 +117,28 @@ class TestAsynchronousExecute:
         a = asynchronous_execute(s, 2.0, np.random.default_rng(10))
         b = asynchronous_execute(s, 2.0, np.random.default_rng(10))
         assert a.realized_commits == b.realized_commits
+
+    def test_same_seed_insensitive_to_object_set_order(self):
+        # object ids chosen so frozenset iteration order != sorted order
+        # ({1, 8, 16} iterates 8, 16, 1 under CPython's hash table);
+        # the replay normalizes to sorted order, so jitter draws -- and
+        # therefore every realized commit -- depend only on the seed
+        from repro.core import Instance, Schedule, Transaction
+
+        net = clique(6)
+        txns = [
+            Transaction(0, 0, {1, 8, 16}),
+            Transaction(1, 1, {8, 16}),
+            Transaction(2, 2, {1, 16}),
+        ]
+        homes = {1: 3, 8: 4, 16: 5}
+        inst = Instance(net, txns, homes)
+        s = Schedule(inst, {0: 2, 1: 4, 2: 6})
+        s.validate()
+        runs = [
+            asynchronous_execute(s, 3.0, np.random.default_rng(11))
+            for _ in range(3)
+        ]
+        for other in runs[1:]:
+            assert other.realized_commits == runs[0].realized_commits
+            assert other.makespan == runs[0].makespan
