@@ -1,0 +1,71 @@
+"""Bench E18 (extension): live fault absorption in the online runtime."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.faults import FaultPlan, random_fault_plan
+from repro.network import grid
+from repro.online import AdmissionControl, poisson_workload, run_online, run_resilient
+from repro.sim import InvariantSanitizer
+
+from conftest import SEED
+
+
+def test_kernel_run_resilient_healthy(benchmark):
+    # the zero-fault path: overhead of hop-by-hop flight simulation alone
+    rng = np.random.default_rng(SEED)
+    wl = poisson_workload(grid(8), w=16, k=2, rate=1.0, count=48, rng=rng)
+    healthy = run_online(wl)
+    res = benchmark(lambda: run_resilient(wl))
+    assert res.makespan == healthy.makespan
+    assert res.report.retries == res.report.reroutes == 0
+
+
+def test_kernel_run_resilient_disrupted(benchmark):
+    rng = np.random.default_rng(SEED)
+    wl = poisson_workload(grid(8), w=16, k=2, rate=1.0, count=48, rng=rng)
+    horizon = run_online(wl).makespan
+    plan = random_fault_plan(
+        wl.instance.network, horizon, np.random.default_rng(SEED),
+        intensity=2.0, objects=wl.instance.objects,
+    )
+    res = benchmark(lambda: run_resilient(wl, plan))
+    assert res.report.committed == wl.m
+
+
+def test_kernel_run_resilient_sanitized(benchmark):
+    # sanitizer on the hot path: measures the invariant-checking overhead
+    rng = np.random.default_rng(SEED)
+    wl = poisson_workload(grid(8), w=16, k=2, rate=1.0, count=48, rng=rng)
+
+    def run():
+        san = InvariantSanitizer()
+        return run_resilient(wl, FaultPlan(), sanitizer=san), san
+
+    res, san = benchmark(run)
+    assert san.checks > 0
+    assert not san.violations
+    assert res.report.committed == wl.m
+
+
+def test_kernel_run_resilient_admission(benchmark):
+    rng = np.random.default_rng(SEED)
+    wl = poisson_workload(grid(8), w=16, k=2, rate=2.0, count=48, rng=rng)
+    admission = AdmissionControl(high_water=6, policy="shed")
+    res = benchmark(lambda: run_resilient(wl, admission=admission))
+    assert res.report.committed + len(res.report.shed) == res.report.released
+
+
+def test_table_e18(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e18", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e18", table)
+    for row in table.rows:
+        assert row["violations"] == 0.0
+        if row["policy"] == "resilient":
+            assert row["commit_rate"] == 1.0
+        if row["intensity"] == 0.0 and row["policy"] == "resilient":
+            assert row["retries"] == row["reroutes"] == 0.0

@@ -131,7 +131,7 @@ def _cmd_figures(args) -> int:
 
 def _cmd_validate(args) -> int:
     from .bounds import makespan_lower_bound
-    from .io import load_schedule
+    from .io import load_fault_plan, load_schedule
     from .sim import execute
 
     schedule = load_schedule(args.path)
@@ -143,6 +143,14 @@ def _cmd_validate(args) -> int:
         f"{schedule.makespan} (lower bound {lb}), communication "
         f"{trace.total_distance}, peak in-flight {trace.max_in_flight}"
     )
+    if args.plan:
+        from .faults import degradation_report, faulty_execute
+
+        plan = load_fault_plan(args.plan, network=schedule.instance.network)
+        ftrace = faulty_execute(schedule, plan)
+        print(f"fault plan OK: {len(plan)} events validated against the "
+              f"network; replay:")
+        print(degradation_report(schedule, plan, ftrace).render())
     return 0
 
 
@@ -182,7 +190,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p_run = sub.add_parser("run", help="run experiment tables")
-    p_run.add_argument("experiments", nargs="+", help="e1..e17 or 'all'")
+    p_run.add_argument("experiments", nargs="+", help="e1..e18 or 'all'")
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--markdown", action="store_true")
@@ -210,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p_val = sub.add_parser("validate", help="validate a saved schedule JSON")
     p_val.add_argument("path")
+    p_val.add_argument("--plan", default=None,
+                       help="fault plan JSON to validate and replay "
+                            "against the schedule")
     p_val.set_defaults(func=_cmd_validate)
 
     p_rep = sub.add_parser(
@@ -219,7 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--seed", type=int, default=None)
     p_rep.add_argument("--full", action="store_true",
                        help="full sweeps (default: quick)")
-    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e17")
+    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e18")
     p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

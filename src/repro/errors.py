@@ -61,3 +61,27 @@ class RecoveryError(FaultError):
     degraded network, so no feasible recovery schedule exists for the
     surviving transactions.
     """
+
+
+class OverloadError(ReproError):
+    """Admission control refused a release and was configured to fail.
+
+    Raised by the resilient online runtime (:mod:`repro.online.resilient`)
+    when the pending set exceeds the admission controller's high-water mark
+    and the controller runs in ``strict`` mode.  The graceful modes
+    (``defer``, ``shed``) never raise -- refused releases are counted in the
+    :class:`~repro.online.report.OnlineDegradationReport` instead.
+    """
+
+
+class InvariantViolationError(ReproError):
+    """A runtime safety invariant was violated during an online run.
+
+    Raised by the invariant sanitizer (:mod:`repro.sim.sanitizer`) the
+    moment a step hook observes corrupted state: an object in two places at
+    once, a commit before its release, a hop entering a down link, or an
+    object dispatched past a higher-priority waiter.  Turning silent
+    corruption into an immediate typed failure is the sanitizer's whole
+    job; disable it (``InvariantSanitizer(enabled=False)``) only for
+    benchmarks.
+    """

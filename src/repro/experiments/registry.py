@@ -23,6 +23,7 @@ from . import (
     e15_controlflow,
     e16_placement,
     e17_faults,
+    e18_online_faults,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -45,6 +46,7 @@ _MODULES = [
     e15_controlflow,
     e16_placement,
     e17_faults,
+    e18_online_faults,
 ]
 
 EXPERIMENTS: Mapping[str, Callable[..., Table]] = {

@@ -3,15 +3,19 @@
 The paper's conclusion leaves open how its offline schedules behave when
 the system misbehaves; :mod:`repro.sim.asynchrony` covers uniform jitter
 (the synchronicity factor) and this package covers everything sharper:
-declarative fault plans (:mod:`repro.faults.plan`), a fault-aware replay
-engine that reroutes, retries, defers, and recovers instead of aborting
+declarative fault plans (:mod:`repro.faults.plan`), a shared deterministic
+backoff policy (:mod:`repro.faults.backoff`), a fault-aware replay engine
+that reroutes, retries, defers, and recovers instead of aborting
 (:mod:`repro.faults.engine`), recovery rescheduling of crash-stranded
 suffixes (:mod:`repro.faults.recovery`), and measured degradation reports
 (:mod:`repro.faults.report`).  Semantics are documented in docs/FAULTS.md;
-the E17 experiment sweeps fault intensity against makespan stretch.
+the E17 experiment sweeps fault intensity against makespan stretch, and
+the E18 experiment drives the same plans *live* through the resilient
+online runtime (:mod:`repro.online.resilient`).
 """
 
-from .engine import FaultyTrace, RetryPolicy, faulty_execute
+from .backoff import RetryPolicy
+from .engine import FaultyTrace, faulty_execute
 from .plan import (
     DelaySpike,
     FaultPlan,

@@ -1,0 +1,40 @@
+"""Bounded deterministic exponential backoff, shared by every fault path.
+
+Both the offline replay engine (:mod:`repro.faults.engine`) and the live
+resilient online runtime (:mod:`repro.online.resilient`) must wait out
+transient faults -- a stalled object, a failed link with no detour --
+without peeking at repair times.  They share this one policy so the two
+layers degrade identically: probe, back off exponentially to a cap, and
+after a bounded number of consecutive failed probes declare the fault
+unabsorbable.  The policy is fully deterministic (no jitter); determinism
+is what makes every faulty run reproducible from its plan and seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for blocked hops and stalled objects.
+
+    A blocked attempt ``i`` (1-based) waits ``min(max_wait, 2**(i-1))``
+    steps before probing again; after ``max_retries`` consecutive failed
+    probes the fault is declared unabsorbable and a :class:`FaultError`
+    is raised.  Deterministic -- no randomness in the recovery path.
+    """
+
+    max_retries: int = 24
+    max_wait: int = 64
+
+    def wait(self, attempt: int) -> int:
+        """Backoff delay before probe number ``attempt + 1``."""
+        return min(self.max_wait, 1 << max(0, attempt - 1))
+
+    @property
+    def budget(self) -> int:
+        """Total steps the policy can wait out before giving up."""
+        return sum(self.wait(i) for i in range(1, self.max_retries + 1))

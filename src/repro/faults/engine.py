@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.schedule import Schedule
 from ..errors import FaultError
 from ..sim.trace import CommitEvent
+from .backoff import RetryPolicy
 from .plan import FaultPlan
 from .recovery import reschedule_survivors
 from .routing import path_avoiding
@@ -44,24 +45,6 @@ Edge = Tuple[int, int]
 
 def _edge(u: int, v: int) -> Edge:
     return (u, v) if u < v else (v, u)
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded exponential backoff for blocked hops and stalled objects.
-
-    A blocked attempt ``i`` (1-based) waits ``min(max_wait, 2**(i-1))``
-    steps before probing again; after ``max_retries`` consecutive failed
-    probes the fault is declared unabsorbable and a :class:`FaultError`
-    is raised.  Deterministic -- no randomness in the recovery path.
-    """
-
-    max_retries: int = 24
-    max_wait: int = 64
-
-    def wait(self, attempt: int) -> int:
-        """Backoff delay before probe number ``attempt + 1``."""
-        return min(self.max_wait, 1 << max(0, attempt - 1))
 
 
 @dataclass
@@ -224,6 +207,7 @@ def faulty_execute(
     policy = policy or RetryPolicy()
     inst = schedule.instance
     net = inst.network
+    plan.validate_against(net)
 
     position: Dict[int, int] = dict(inst.object_homes)
     free_at: Dict[int, int] = {o: 0 for o in inst.objects}

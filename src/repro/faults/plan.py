@@ -148,6 +148,11 @@ class FaultPlan:
         :class:`ObjectStall`, and :class:`DelaySpike`.  Windows must be
         well-formed (``start >= 0``, ``end > start`` when finite, delay
         factors ``>= 1``).
+    network:
+        Optional :class:`~repro.network.graph.Network` to validate the
+        events against (see :meth:`validate_against`): an event naming a
+        node or link the network does not have raises :class:`FaultError`
+        here, at construction, instead of a bare ``KeyError`` mid-run.
 
     The plan indexes events by kind so the engine's hot queries (is this
     link down now?  when does this node die?) are cheap, and assigns every
@@ -155,7 +160,11 @@ class FaultPlan:
     degradation report.
     """
 
-    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+    def __init__(
+        self,
+        events: Iterable[FaultEvent] = (),
+        network: Optional[Network] = None,
+    ) -> None:
         evs: List[FaultEvent] = []
         for e in events:
             if isinstance(e, LinkFailure):
@@ -195,6 +204,41 @@ class FaultPlan:
             elif isinstance(e, DelaySpike):
                 self._spikes.setdefault((e.u, e.v), []).append(e)
 
+        if network is not None:
+            self.validate_against(network)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def validate_against(self, network: Network) -> None:
+        """Check every event names nodes and links ``network`` really has.
+
+        Raises :class:`FaultError` for a link event on a non-edge or a
+        crash of a nonexistent node, so a bad plan fails at construction
+        (or at the start of a run) instead of as a mid-run ``KeyError``.
+        Object stalls are not checked here -- objects belong to the
+        instance, not the network.
+        """
+        for e in self.events:
+            if isinstance(e, (LinkFailure, DelaySpike)):
+                if not (0 <= e.u < network.n and 0 <= e.v < network.n):
+                    raise FaultError(
+                        f"fault event names unknown node: {e.describe()} "
+                        f"(network has nodes 0..{network.n - 1})"
+                    )
+                if not network.has_edge(e.u, e.v):
+                    raise FaultError(
+                        f"fault event names unknown link: {e.describe()} "
+                        f"(no edge ({e.u},{e.v}) in the network)"
+                    )
+            elif isinstance(e, NodeCrash):
+                if not 0 <= e.node < network.n:
+                    raise FaultError(
+                        f"fault event names unknown node: {e.describe()} "
+                        f"(network has nodes 0..{network.n - 1})"
+                    )
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
@@ -203,6 +247,24 @@ class FaultPlan:
     def is_empty(self) -> bool:
         """True iff the plan injects nothing (the healthy baseline)."""
         return not self.events
+
+    @property
+    def latest_time(self) -> int:
+        """Last finite time any event starts or ends (0 for the empty plan).
+
+        Permanent failures (``end=None``) contribute their start time.
+        Used by runtimes to budget their step guards: past this point the
+        fault landscape is static.
+        """
+        latest = 0
+        for e in self.events:
+            if isinstance(e, NodeCrash):
+                latest = max(latest, e.time)
+            elif isinstance(e, LinkFailure):
+                latest = max(latest, e.start if e.end is None else e.end)
+            else:
+                latest = max(latest, e.end)
+        return latest
 
     def index_of(self, event: FaultEvent) -> int:
         """Stable index of ``event`` within the plan (for attribution)."""
@@ -336,4 +398,4 @@ def random_fault_plan(
         start, end = _window(min_len=2)
         factor = 1.0 + float(rng.random()) * (max_factor - 1.0)
         events.append(DelaySpike(u, v, start, end, factor))
-    return FaultPlan(events)
+    return FaultPlan(events, network=net)

@@ -17,6 +17,13 @@ from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..core.transaction import Transaction
 from ..errors import ReproError
+from ..faults.plan import (
+    DelaySpike,
+    FaultPlan,
+    LinkFailure,
+    NodeCrash,
+    ObjectStall,
+)
 from ..network.graph import Network, Topology
 
 __all__ = [
@@ -26,10 +33,14 @@ __all__ = [
     "instance_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "fault_plan_to_json",
+    "fault_plan_from_json",
     "save_instance",
     "load_instance",
     "save_schedule",
     "load_schedule",
+    "save_fault_plan",
+    "load_fault_plan",
 ]
 
 _FORMAT_VERSION = 1
@@ -123,6 +134,61 @@ def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
     return Schedule(inst, commits, data.get("meta", {}))
 
 
+_EVENT_KINDS = {
+    "link_failure": LinkFailure,
+    "node_crash": NodeCrash,
+    "object_stall": ObjectStall,
+    "delay_spike": DelaySpike,
+}
+_KIND_OF = {cls: kind for kind, cls in _EVENT_KINDS.items()}
+
+
+def fault_plan_to_json(plan: FaultPlan) -> Dict[str, Any]:
+    """Plain-data form of a fault plan (events in stable index order).
+
+    Each event serializes as ``{"kind": ..., **fields}``; saving a plan
+    next to the schedule it disrupted makes a faulty run re-runnable from
+    disk (``repro-dtm validate sched.json --plan plan.json``).
+    """
+    events = []
+    for e in plan.events:
+        rec: Dict[str, Any] = {"kind": _KIND_OF[type(e)]}
+        if isinstance(e, LinkFailure):
+            rec.update(u=e.u, v=e.v, start=e.start, end=e.end)
+        elif isinstance(e, NodeCrash):
+            rec.update(node=e.node, time=e.time)
+        elif isinstance(e, ObjectStall):
+            rec.update(obj=e.obj, start=e.start, end=e.end)
+        else:
+            rec.update(u=e.u, v=e.v, start=e.start, end=e.end,
+                       factor=e.factor)
+        events.append(rec)
+    return {"version": _FORMAT_VERSION, "events": events}
+
+
+def fault_plan_from_json(
+    data: Dict[str, Any], network: Network | None = None
+) -> FaultPlan:
+    """Inverse of :func:`fault_plan_to_json` (revalidates every window).
+
+    Passing ``network`` additionally validates each event against the
+    graph (see :meth:`FaultPlan.validate_against`).  Raises
+    :class:`ReproError` on an unknown event kind.
+    """
+    events = []
+    for rec in data.get("events", []):
+        fields = {k: v for k, v in rec.items() if k != "kind"}
+        try:
+            cls = _EVENT_KINDS[rec.get("kind")]
+        except KeyError:
+            raise ReproError(
+                f"unknown fault event kind {rec.get('kind')!r}; expected "
+                f"one of {sorted(_EVENT_KINDS)}"
+            ) from None
+        events.append(cls(**fields))
+    return FaultPlan(events, network=network)
+
+
 def _save(path: str | Path, payload: Dict[str, Any]) -> None:
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
@@ -152,3 +218,15 @@ def save_schedule(schedule: Schedule, path: str | Path) -> None:
 def load_schedule(path: str | Path) -> Schedule:
     """Read a schedule from a JSON file."""
     return schedule_from_dict(_load(path))
+
+
+def save_fault_plan(plan: FaultPlan, path: str | Path) -> None:
+    """Write a fault plan to a JSON file."""
+    _save(path, fault_plan_to_json(plan))
+
+
+def load_fault_plan(
+    path: str | Path, network: Network | None = None
+) -> FaultPlan:
+    """Read a fault plan from a JSON file (validated against ``network``)."""
+    return fault_plan_from_json(_load(path), network=network)

@@ -1,12 +1,17 @@
 """Online scheduling extension (§9, open question 1).
 
 The batch model extended with release times: a priority-driven contention
-manager (:func:`run_online`) and epoch batching of the paper's offline
-schedulers (:func:`run_epoch_batched`).
+manager (:func:`run_online`), epoch batching of the paper's offline
+schedulers (:func:`run_epoch_batched`), and a fault-aware resilient
+runtime (:func:`run_resilient`) that consumes a live
+:class:`~repro.faults.plan.FaultPlan` with lease-based crash recovery and
+admission control (docs/FAULTS.md).
 """
 
 from .arrivals import OnlineWorkload, TimedTransaction, poisson_workload
 from .epoch import run_epoch_batched
+from .report import OnlineDegradationReport
+from .resilient import AdmissionControl, ResilientResult, run_resilient
 from .runtime import (
     OnlineResult,
     random_priority,
@@ -23,4 +28,8 @@ __all__ = [
     "run_epoch_batched",
     "timestamp_priority",
     "random_priority",
+    "AdmissionControl",
+    "ResilientResult",
+    "run_resilient",
+    "OnlineDegradationReport",
 ]

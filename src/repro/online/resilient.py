@@ -1,0 +1,419 @@
+"""Fault-aware online runtime: live faults, leases, and admission control.
+
+:func:`run_resilient` is the priority contention manager of
+:mod:`repro.online.runtime` hardened for a system that misbehaves *while
+decisions are still being made*.  It consumes a
+:class:`~repro.faults.plan.FaultPlan` live -- not replayed against a
+precomputed schedule as :func:`repro.faults.faulty_execute` does -- and
+absorbs each disruption without giving up determinism:
+
+* **object moves are hop-by-hop**: a leg is a concrete path through the
+  network, so a link failing mid-flight blocks exactly the hop that would
+  traverse it.  Blocked hops (down link, stalled object, transient
+  partition) retry with the shared bounded deterministic exponential
+  backoff (:class:`repro.faults.backoff.RetryPolicy`) and reroute around
+  failures with :func:`repro.faults.routing.path_avoiding`;
+* **leases die with their node**: an object parked on -- or in flight
+  toward -- a node that crashes is restored from its durable home and
+  re-auctioned to the highest-priority pending waiter by the normal
+  dispatch rule; transactions hosted on the dead node (and any needing an
+  unrecoverable object) are reported ``lost``, never silently dropped;
+* **admission control sheds load before it melts down**: when the pending
+  set reaches :class:`AdmissionControl`'s high-water mark, new releases
+  are deferred (back-pressure), shed (typed refusal, counted), or -- in
+  ``strict`` mode -- rejected with :class:`~repro.errors.OverloadError`;
+* every step can be audited by an
+  :class:`~repro.sim.sanitizer.InvariantSanitizer` hook.
+
+On the empty plan the runtime visits extra intermediate hop-completion
+steps but makes identical decisions at identical times, so it reproduces
+:func:`~repro.online.runtime.run_online` exactly, field by field -- the
+zero-distortion guarantee the test suite asserts.  All costs are counted
+in an :class:`~repro.online.report.OnlineDegradationReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..errors import FaultError, OverloadError, SchedulingError
+from ..faults.backoff import RetryPolicy
+from ..faults.plan import FaultPlan
+from ..faults.routing import path_avoiding
+from ..sim.sanitizer import InvariantSanitizer
+from .arrivals import OnlineWorkload, TimedTransaction
+from .report import OnlineDegradationReport
+from .runtime import timestamp_priority
+
+__all__ = ["AdmissionControl", "ResilientResult", "run_resilient"]
+
+_ADMISSION_POLICIES = ("defer", "shed", "strict")
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Back-pressure for the resilient runtime's pending set.
+
+    When a release arrives while ``len(pending) >= high_water`` the
+    controller applies its policy: ``defer`` queues the release until the
+    pending set drains below the mark (FIFO, nothing lost), ``shed``
+    refuses it permanently (counted in the degradation report with a
+    typed reason), and ``strict`` raises
+    :class:`~repro.errors.OverloadError` -- for callers that prefer a
+    crash to degraded service.
+    """
+
+    high_water: int
+    policy: str = "defer"
+
+    def __post_init__(self) -> None:
+        if self.high_water < 1:
+            raise ValueError(
+                f"high_water must be >= 1, got {self.high_water}"
+            )
+        if self.policy not in _ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; choose from "
+                f"{_ADMISSION_POLICIES}"
+            )
+
+
+@dataclass
+class ResilientResult:
+    """Outcome of a resilient online run.
+
+    ``commits`` maps every *committed* transaction to its commit step;
+    ``schedule`` is the equivalent batch :class:`Schedule` when every
+    released transaction committed (``None`` when crashes or shedding
+    lost some -- a partial commit map is not a schedule).  The schedule
+    is batch-feasible whenever the plan contains no node crashes (crash
+    recovery restores objects at their durable home, a move the batch
+    validator cannot see).  ``report`` carries the degradation accounting.
+    """
+
+    schedule: Optional[Schedule]
+    commits: Dict[int, int]
+    release: Dict[int, int]
+    report: OnlineDegradationReport
+
+    @property
+    def makespan(self) -> int:
+        """Time of the last commit (0 if nothing committed)."""
+        return max(self.commits.values(), default=0)
+
+    @property
+    def response_times(self) -> Dict[int, int]:
+        """Commit minus release, per committed transaction."""
+        return {
+            tid: ct - self.release[tid] for tid, ct in self.commits.items()
+        }
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time over committed transactions."""
+        rts = self.response_times
+        return sum(rts.values()) / len(rts) if rts else 0.0
+
+    @property
+    def max_response(self) -> int:
+        """Worst response time over committed transactions."""
+        return max(self.response_times.values(), default=0)
+
+
+class _Flight:
+    """One object's live leg: a lease, a path, and its current hop."""
+
+    __slots__ = ("obj", "dest", "target_tid", "path", "hop_end", "retry_at",
+                 "attempt")
+
+    def __init__(self, obj: int, dest: int, target_tid: int) -> None:
+        self.obj = obj
+        self.dest = dest
+        self.target_tid = target_tid
+        self.path: Optional[List[int]] = None  # path[0] == current position
+        self.hop_end: Optional[int] = None  # set while traversing a hop
+        self.retry_at: Optional[int] = None  # set while blocked
+        self.attempt = 0
+
+
+def run_resilient(
+    workload: OnlineWorkload,
+    plan: FaultPlan | None = None,
+    priority: Callable[..., Dict[int, tuple]] = timestamp_priority,
+    rng: np.random.Generator | None = None,
+    policy: RetryPolicy | None = None,
+    admission: AdmissionControl | None = None,
+    sanitizer: InvariantSanitizer | None = None,
+    max_steps: int | None = None,
+) -> ResilientResult:
+    """Run the priority contention manager against a live fault plan.
+
+    ``plan`` defaults to the empty plan (in which case the run reproduces
+    :func:`run_online` exactly).  ``policy`` bounds the backoff on blocked
+    hops; exhausting it raises :class:`FaultError` (an unabsorbable
+    fault, e.g. a permanent partition).  ``admission`` enables load
+    shedding; ``sanitizer`` audits every step.  Raises
+    :class:`SchedulingError` past ``max_steps`` (defaults to the healthy
+    bound plus the plan's fault horizon and retry budget).
+    """
+    plan = plan if plan is not None else FaultPlan()
+    policy = policy or RetryPolicy()
+    inst = workload.instance
+    net = inst.network
+    plan.validate_against(net)
+    prio = priority(workload, rng) if rng is not None else priority(workload)
+    if max_steps is None:
+        max_steps = (
+            workload.horizon + (inst.m + 1) * (net.diameter() + 1) + 16
+        )
+        if not plan.is_empty:
+            max_steps += plan.latest_time + (
+                policy.budget + net.diameter() + 1
+            ) * (inst.m + 1)
+
+    position: Dict[int, int] = dict(inst.object_homes)
+    flights: Dict[int, _Flight] = {}
+    pending: Dict[int, object] = {}  # tid -> Transaction
+    commits: Dict[int, int] = {}
+    lost: List[Tuple[int, str]] = []
+    shed: List[Tuple[int, str]] = []
+    deferred: List[TimedTransaction] = []
+    unrecoverable: set[int] = set()
+    dead: set[int] = set()
+
+    arrivals = list(workload.arrivals)
+    release = {a.txn.tid: a.release for a in arrivals}
+    crash_seq = list(plan.crash_events)
+    ai = ci = 0
+    retries = reroutes = rehomed = deferred_admissions = 0
+    t = 1
+
+    def best_requester(obj: int):
+        cands = [txn for txn in pending.values() if obj in txn.objects]
+        if not cands:
+            return None
+        return min(cands, key=lambda txn: prio[txn.tid])
+
+    def _backoff(fl: _Flight, now: int) -> None:
+        nonlocal retries
+        fl.attempt += 1
+        if fl.attempt > policy.max_retries:
+            raise FaultError(
+                f"object {fl.obj} stuck at node {position[fl.obj]} en "
+                f"route to node {fl.dest} past the retry budget "
+                f"({policy.max_retries} probes)"
+            )
+        retries += 1
+        fl.hop_end = None
+        fl.retry_at = now + policy.wait(fl.attempt)
+
+    def _try_depart(fl: _Flight, now: int) -> None:
+        """Enter the next hop at ``now``, or back off if blocked."""
+        nonlocal reroutes
+        pos = position[fl.obj]
+        if plan.stall(fl.obj, now) is not None:
+            _backoff(fl, now)
+            return
+        stale = (
+            fl.path is None
+            or len(fl.path) < 2
+            or fl.path[0] != pos
+            or plan.link_down(pos, fl.path[1], now) is not None
+        )
+        if stale:
+            down = plan.down_edges(now)
+            path = path_avoiding(net, pos, fl.dest, down)
+            if path is None:
+                fl.path = None
+                _backoff(fl, now)
+                return
+            if down and path != net.shortest_path(pos, fl.dest):
+                reroutes += 1
+            fl.path = path
+        nxt = fl.path[1]
+        if sanitizer is not None:
+            sanitizer.check_hop(now, pos, nxt, plan)
+        fl.attempt = 0
+        fl.retry_at = None
+        factor, _ = plan.delay_factor(pos, nxt, now)
+        fl.hop_end = now + int(math.ceil(net.edge_weight(pos, nxt) * factor))
+
+    def _rehome(obj: int) -> None:
+        """Restore ``obj`` from its durable home after a lease died."""
+        nonlocal rehomed
+        flights.pop(obj, None)
+        home = inst.home(obj)
+        position[obj] = home
+        if home in dead:
+            unrecoverable.add(obj)
+        else:
+            rehomed += 1
+
+    def _drop_pending(tid: int, reason: str) -> None:
+        lost.append((tid, reason))
+        del pending[tid]
+
+    def _crash(node: int) -> None:
+        """Fire ``node``'s crash: kill its compute plane, re-home leases."""
+        dead.add(node)
+        for tid in sorted(pending):
+            if pending[tid].node == node:
+                _drop_pending(tid, f"node {node} crashed")
+        for obj in sorted(position):
+            fl = flights.get(obj)
+            leased_here = fl is not None and fl.dest == node
+            parked_here = fl is None and position[obj] == node
+            if leased_here or parked_here:
+                _rehome(obj)
+        if unrecoverable:
+            for tid in sorted(pending):
+                gone = pending[tid].objects & unrecoverable
+                if gone:
+                    _drop_pending(
+                        tid, f"objects {sorted(gone)} unrecoverable"
+                    )
+        # flights whose waiter just vanished and are not mid-hop stop now;
+        # mid-hop flights drain their hop and stop at its far end
+        for obj in sorted(flights):
+            fl = flights[obj]
+            if fl.target_tid not in pending and fl.hop_end is None:
+                del flights[obj]
+
+    def _admit(timed: TimedTransaction) -> None:
+        txn = timed.txn
+        if txn.node in dead:
+            lost.append((txn.tid, f"node {txn.node} crashed"))
+            return
+        gone = txn.objects & unrecoverable
+        if gone:
+            lost.append((txn.tid, f"objects {sorted(gone)} unrecoverable"))
+            return
+        pending[txn.tid] = txn
+
+    def _room() -> bool:
+        return admission is None or len(pending) < admission.high_water
+
+    while ai < len(arrivals) or deferred or pending or flights:
+        if t > max_steps:
+            raise SchedulingError(
+                f"resilient runtime exceeded {max_steps} steps "
+                f"({len(pending)} pending, {len(flights)} in flight)"
+            )
+        # crashes the timeline has reached, in (time, node) order
+        while ci < len(crash_seq) and crash_seq[ci].time <= t:
+            _crash(crash_seq[ci].node)
+            ci += 1
+        # deliveries and probes: advance every flight to time t
+        for obj in sorted(flights):
+            fl = flights.get(obj)
+            if fl is None:  # cancelled by an earlier flight's crash sweep
+                continue  # pragma: no cover - crashes cancel before here
+            while fl.hop_end is not None and fl.hop_end <= t:
+                position[obj] = fl.path[1]
+                fl.path = fl.path[1:]
+                fl.hop_end = None
+                if position[obj] == fl.dest or fl.target_tid not in pending:
+                    del flights[obj]
+                    fl = None
+                    break
+                _try_depart(fl, t)
+            if fl is not None and fl.retry_at is not None and fl.retry_at <= t:
+                _try_depart(fl, t)
+        # admission: deferred releases first (FIFO), then new arrivals
+        while deferred and _room():
+            _admit(deferred.pop(0))
+        while ai < len(arrivals) and arrivals[ai].release <= t:
+            timed = arrivals[ai]
+            ai += 1
+            if _room():
+                _admit(timed)
+            elif admission.policy == "strict":
+                raise OverloadError(
+                    f"t={t}: release of transaction {timed.txn.tid} with "
+                    f"{len(pending)} pending >= high-water "
+                    f"{admission.high_water}"
+                )
+            elif admission.policy == "shed":
+                shed.append((
+                    timed.txn.tid,
+                    f"{len(pending)} pending >= high-water "
+                    f"{admission.high_water} at t={t}",
+                ))
+            else:
+                deferred.append(timed)
+                deferred_admissions += 1
+        # commits: any pending transaction with all objects on-node
+        committed_now = [
+            txn
+            for txn in pending.values()
+            if all(
+                o not in flights and position[o] == txn.node
+                for o in txn.objects
+            )
+        ]
+        for txn in sorted(committed_now, key=lambda txn: prio[txn.tid]):
+            if sanitizer is not None:
+                sanitizer.check_commit(
+                    t, txn, position, flights.keys(), release
+                )
+            commits[txn.tid] = t
+            del pending[txn.tid]
+        if sanitizer is not None:
+            sanitizer.check_step(t, position, flights.keys(), pending, net.n)
+        # dispatch: idle objects chase their best requester
+        for obj in sorted(position):
+            if obj in flights or obj in unrecoverable:
+                continue
+            target = best_requester(obj)
+            if target is None or position[obj] == target.node:
+                continue
+            if sanitizer is not None:
+                sanitizer.check_dispatch(t, obj, target, pending, prio)
+            fl = _Flight(obj, target.node, target.tid)
+            flights[obj] = fl
+            _try_depart(fl, t)
+        # advance to the next interesting time
+        nxt = []
+        if ai < len(arrivals):
+            nxt.append(arrivals[ai].release)
+        if ci < len(crash_seq):
+            nxt.append(crash_seq[ci].time)
+        for fl in flights.values():
+            nxt.append(fl.hop_end if fl.hop_end is not None else fl.retry_at)
+        if deferred:
+            nxt.append(t + 1)
+        t = max(t + 1, min(nxt)) if nxt else t + 1
+
+    for tid, ct in commits.items():
+        if ct < release[tid]:  # pragma: no cover - construction prevents it
+            raise SchedulingError(
+                f"transaction {tid} committed before release"
+            )
+    report = OnlineDegradationReport(
+        released=workload.m,
+        committed=len(commits),
+        lost=tuple(lost),
+        shed=tuple(shed),
+        deferred_admissions=deferred_admissions,
+        retries=retries,
+        reroutes=reroutes,
+        rehomed=rehomed,
+        fault_count=len(plan),
+        sanitizer_checks=sanitizer.checks if sanitizer is not None else 0,
+        violations=len(sanitizer.violations) if sanitizer is not None else 0,
+    )
+    schedule = None
+    if len(commits) == workload.m:
+        schedule = Schedule(
+            inst, commits,
+            meta={"scheduler": "resilient-priority", "faults": len(plan)},
+        )
+    return ResilientResult(
+        schedule=schedule, commits=dict(commits), release=release,
+        report=report,
+    )

@@ -81,6 +81,7 @@ def run_online(
     priority: Callable[..., Dict[int, tuple]] = timestamp_priority,
     rng: np.random.Generator | None = None,
     max_steps: int | None = None,
+    sanitizer=None,
 ) -> OnlineResult:
     """Run the priority contention manager to completion.
 
@@ -88,10 +89,14 @@ def run_online(
     lower tuples win.  Raises :class:`SchedulingError` if the run exceeds
     ``max_steps`` (defaults to a generous bound that a livelock-free run
     cannot hit: horizon plus ``m`` serial trips across the diameter).
+    ``sanitizer`` is an optional
+    :class:`~repro.sim.sanitizer.InvariantSanitizer` whose step hooks
+    audit every commit and dispatch (None, the default, adds no work).
     """
     inst = workload.instance
     net = inst.network
     prio = priority(workload, rng) if rng is not None else priority(workload)
+    release_times = {a.txn.tid: a.release for a in workload.arrivals}
     if max_steps is None:
         max_steps = (
             workload.horizon + (inst.m + 1) * (net.diameter() + 1) + 16
@@ -138,8 +143,12 @@ def run_online(
             )
         ]
         for txn in sorted(committed_now, key=lambda txn: prio[txn.tid]):
+            if sanitizer is not None:
+                sanitizer.check_commit(t, txn, position, moving, release_times)
             commits[txn.tid] = t
             del pending[txn.tid]
+        if sanitizer is not None:
+            sanitizer.check_step(t, position, moving, pending, net.n)
         # dispatch: idle objects chase their best requester
         for obj in sorted(position):
             if obj in moving:
@@ -147,6 +156,8 @@ def run_online(
             target = best_requester(obj)
             if target is None or position[obj] == target.node:
                 continue
+            if sanitizer is not None:
+                sanitizer.check_dispatch(t, obj, target, pending, prio)
             d = net.dist(position[obj], target.node)
             heapq.heappush(in_transit, (t + d, obj, target.node))
             moving.add(obj)

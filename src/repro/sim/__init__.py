@@ -1,11 +1,13 @@
 """Synchronous data-flow TM simulator: routing, execution, traces.
 
 Also hosts the §9 extension analyses: link congestion
-(:mod:`repro.sim.congestion`) and asynchronous replay
-(:mod:`repro.sim.asynchrony`).
+(:mod:`repro.sim.congestion`), asynchronous replay
+(:mod:`repro.sim.asynchrony`), and the runtime invariant sanitizer
+(:mod:`repro.sim.sanitizer`).
 """
 
 from .asynchrony import AsyncResult, asynchronous_execute
+from .sanitizer import InvariantSanitizer
 from .congestion import (
     CongestionReport,
     congestion_report,
@@ -33,4 +35,5 @@ __all__ = [
     "reroute_for_congestion",
     "CapacityResult",
     "capacity_execute",
+    "InvariantSanitizer",
 ]

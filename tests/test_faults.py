@@ -104,6 +104,47 @@ class TestFaultPlan:
         empty = random_fault_plan(net, 50, np.random.default_rng(1), 0.0)
         assert empty.is_empty
 
+    @pytest.mark.parametrize(
+        "event, complaint",
+        [
+            (LinkFailure(0, 99, 0, 5), "unknown node"),
+            (LinkFailure(0, 5, 0, 5), "unknown link"),  # no line edge (0,5)
+            (DelaySpike(2, 7, 0, 5, 2.0), "unknown link"),
+            (NodeCrash(12, 3), "unknown node"),
+        ],
+    )
+    def test_network_validation_rejects_at_construction(self, event, complaint):
+        net = line(8)
+        with pytest.raises(FaultError, match=complaint):
+            FaultPlan([event], network=net)
+        # the same check is available post-hoc on an unchecked plan
+        with pytest.raises(FaultError, match=complaint):
+            FaultPlan([event]).validate_against(net)
+
+    def test_network_validation_accepts_real_edges(self):
+        net = line(8)
+        plan = FaultPlan(
+            [LinkFailure(3, 4, 0, 5), DelaySpike(4, 5, 0, 5, 2.0),
+             NodeCrash(7, 3), ObjectStall(999, 0, 5)],
+            network=net,
+        )
+        assert len(plan) == 4  # object stalls are instance-scoped: unchecked
+
+    def test_latest_time_tracks_finite_horizon(self):
+        assert FaultPlan().latest_time == 0
+        plan = FaultPlan([
+            LinkFailure(0, 1, 2, 30),
+            LinkFailure(1, 2, 40, None),  # permanent: counts its start
+            NodeCrash(3, 17),
+            ObjectStall(0, 5, 25),
+        ])
+        assert plan.latest_time == 40
+
+    def test_faulty_execute_validates_plan_against_network(self):
+        s = scheduled(grid(4), seed=2)
+        with pytest.raises(FaultError, match="unknown node"):
+            faulty_execute(s, FaultPlan([NodeCrash(400, 1)]))
+
 
 class TestHealthyPathExactness:
     """An empty plan must add zero distortion: trace equals sim.execute."""

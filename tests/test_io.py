@@ -177,3 +177,75 @@ class TestExtensionRoundTrips:
         p.write_text("[1, 2")
         with pytest.raises(ReproError):
             load_rw_instance(p)
+
+
+class TestFaultPlanRoundTrip:
+    def make_plan(self, net=None):
+        from repro.faults import (
+            DelaySpike,
+            FaultPlan,
+            LinkFailure,
+            NodeCrash,
+            ObjectStall,
+        )
+
+        return FaultPlan(
+            [
+                LinkFailure(0, 1, 2, 9),
+                LinkFailure(1, 2, 5, None),  # permanent
+                NodeCrash(3, 4),
+                ObjectStall(7, 0, 6),
+                DelaySpike(2, 3, 1, 8, 2.5),
+            ],
+            network=net,
+        )
+
+    def test_dict_round_trip_preserves_events(self):
+        from repro.io import fault_plan_from_json, fault_plan_to_json
+
+        plan = self.make_plan()
+        data = fault_plan_to_json(plan)
+        back = fault_plan_from_json(data)
+        assert back.events == plan.events
+        assert fault_plan_to_json(back) == data
+
+    def test_file_round_trip_with_network_validation(self, tmp_path):
+        from repro.io import load_fault_plan, save_fault_plan
+
+        net = line(6)
+        plan = self.make_plan(net)
+        path = tmp_path / "plan.json"
+        save_fault_plan(plan, path)
+        back = load_fault_plan(path, network=net)
+        assert back.events == plan.events
+
+    def test_random_plan_round_trips(self, tmp_path):
+        from repro.faults import random_fault_plan
+        from repro.io import load_fault_plan, save_fault_plan
+
+        net = grid(4)
+        plan = random_fault_plan(
+            net, 60, np.random.default_rng(5), intensity=2.0,
+            objects=range(8), crash_rate=0.2,
+        )
+        path = tmp_path / "plan.json"
+        save_fault_plan(plan, path)
+        assert load_fault_plan(path, network=net).events == plan.events
+
+    def test_unknown_kind_rejected(self):
+        from repro.io import fault_plan_from_json
+
+        with pytest.raises(ReproError, match="unknown fault event kind"):
+            fault_plan_from_json({"events": [{"kind": "meteor_strike"}]})
+
+    def test_load_validates_against_network(self, tmp_path):
+        from repro.errors import FaultError
+        from repro.faults import FaultPlan, NodeCrash
+        from repro.io import load_fault_plan, save_fault_plan
+
+        plan = FaultPlan([NodeCrash(40, 2)])
+        path = tmp_path / "plan.json"
+        save_fault_plan(plan, path)
+        assert len(load_fault_plan(path)) == 1  # unvalidated load is fine
+        with pytest.raises(FaultError, match="unknown node"):
+            load_fault_plan(path, network=line(6))
