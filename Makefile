@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci bench experiments figures quick-experiments clean
+.PHONY: install test ci bench experiments figures quick-experiments trace-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,13 @@ quick-experiments:
 figures:
 	$(PYTHON) -m repro figures
 
+# record an observability trace for E1, then summarize and export it
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro run e1 --quick --trace-out e1-trace.json
+	PYTHONPATH=src $(PYTHON) -m repro trace summarize e1-trace.json
+	PYTHONPATH=src $(PYTHON) -m repro trace export e1-trace.json --csv e1-trace.csv
+
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	rm -f e1-trace.json e1-trace.csv
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,6 +6,7 @@ from repro.core import GreedyScheduler
 from repro.experiments import run_experiment
 from repro.faults import FaultPlan, LinkFailure, faulty_execute, random_fault_plan
 from repro.network import grid
+from repro.obs import MemoryRecorder
 from repro.workloads import random_k_subsets
 
 from conftest import SEED
@@ -46,12 +47,14 @@ def test_kernel_reroute_around_failure(benchmark):
 
 
 def test_table_e17(benchmark, record_table):
+    rec = MemoryRecorder(meta={"experiment": "e17"})
     table = benchmark.pedantic(
-        lambda: run_experiment("e17", seed=SEED, quick=True),
+        lambda: run_experiment("e17", seed=SEED, quick=True, recorder=rec),
         rounds=1,
         iterations=1,
     )
     record_table("e17", table)
+    assert any(n.startswith("metrics:") for n in table.notes)
     for row in table.rows:
         if row["intensity"] == 0.0:
             # the healthy path is exact: no distortion, no recovery work

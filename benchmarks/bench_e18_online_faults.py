@@ -5,6 +5,7 @@ import numpy as np
 from repro.experiments import run_experiment
 from repro.faults import FaultPlan, random_fault_plan
 from repro.network import grid
+from repro.obs import MemoryRecorder
 from repro.online import AdmissionControl, poisson_workload, run_online, run_resilient
 from repro.sim import InvariantSanitizer
 
@@ -57,12 +58,14 @@ def test_kernel_run_resilient_admission(benchmark):
 
 
 def test_table_e18(benchmark, record_table):
+    rec = MemoryRecorder(meta={"experiment": "e18"})
     table = benchmark.pedantic(
-        lambda: run_experiment("e18", seed=SEED, quick=True),
+        lambda: run_experiment("e18", seed=SEED, quick=True, recorder=rec),
         rounds=1,
         iterations=1,
     )
     record_table("e18", table)
+    assert any(n.startswith("metrics:") for n in table.notes)
     for row in table.rows:
         assert row["violations"] == 0.0
         if row["policy"] == "resilient":

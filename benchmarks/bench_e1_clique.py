@@ -8,6 +8,7 @@ import numpy as np
 from repro.core import CliqueScheduler
 from repro.experiments import run_experiment
 from repro.network import clique
+from repro.obs import MemoryRecorder
 from repro.workloads import random_k_subsets
 
 from conftest import SEED
@@ -22,10 +23,13 @@ def test_kernel_clique_greedy(benchmark):
 
 
 def test_table_e1(benchmark, record_table):
+    rec = MemoryRecorder(meta={"experiment": "e1"})
     table = benchmark.pedantic(
-        lambda: run_experiment("e1", seed=SEED, quick=True),
+        lambda: run_experiment("e1", seed=SEED, quick=True, recorder=rec),
         rounds=1,
         iterations=1,
     )
     record_table("e1", table)
+    # the recorded table carries the metric snapshot into results/e1.txt
+    assert any(n.startswith("metrics:") for n in table.notes)
     assert all(v <= 3.0 for v in table.column("ratio_over_k"))

@@ -7,6 +7,8 @@ validation, hop-level execution, lower-bound computation, compaction,
 and congestion rerouting.
 """
 
+import time
+
 import numpy as np
 
 from repro.bounds import makespan_lower_bound, object_report
@@ -14,6 +16,7 @@ from repro.core import GreedyScheduler, compact_schedule
 from repro.core.coloring import greedy_color
 from repro.core.dependency import DependencyGraph
 from repro.network import grid
+from repro.obs import NULL_RECORDER
 from repro.sim import execute, reroute_for_congestion
 from repro.workloads import random_k_subsets
 
@@ -79,6 +82,32 @@ def test_kernel_compaction(benchmark):
     sched = GreedyScheduler().schedule(inst)
     out = benchmark(lambda: compact_schedule(sched))
     assert out.makespan <= sched.makespan
+
+
+def test_noop_recorder_overhead(benchmark):
+    # the observability hooks must cost <5% when no recorder is attached:
+    # recorder=None and an explicit NULL_RECORDER take the same disabled
+    # path, so any drift here means NullRecorder grew real work
+    _, inst = _setup()
+    sched = GreedyScheduler().schedule(inst)
+
+    def _once(recorder):
+        t0 = time.perf_counter()
+        execute(sched, record_commits=False, recorder=recorder)
+        return time.perf_counter() - t0
+
+    _once(None)  # warm caches so neither side pays first-run costs
+    plain = float("inf")
+    nulled = float("inf")
+    for _ in range(25):  # interleaved min-of-N damps scheduler noise
+        plain = min(plain, _once(None))
+        nulled = min(nulled, _once(NULL_RECORDER))
+    assert nulled <= plain * 1.05 + 0.002, (
+        f"no-op recorder overhead {nulled / plain - 1:.1%} exceeds 5%"
+    )
+    benchmark(
+        lambda: execute(sched, record_commits=False, recorder=NULL_RECORDER)
+    )
 
 
 def test_kernel_reroute(benchmark):

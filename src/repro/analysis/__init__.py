@@ -1,6 +1,14 @@
 """Measurement, aggregation, and reporting utilities."""
 
 from .metrics import Evaluation, evaluate
+from .report import (
+    REPORT_KINDS,
+    REPORT_SCHEMA_VERSION,
+    Report,
+    register_report,
+    report_from_json,
+    report_to_json,
+)
 from .stats import Summary, geometric_mean, summarize
 from .tables import Table
 
@@ -11,4 +19,10 @@ __all__ = [
     "summarize",
     "geometric_mean",
     "Table",
+    "Report",
+    "REPORT_KINDS",
+    "REPORT_SCHEMA_VERSION",
+    "register_report",
+    "report_to_json",
+    "report_from_json",
 ]

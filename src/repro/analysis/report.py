@@ -1,0 +1,146 @@
+"""The unified ``Report`` protocol: one shape for every measurement.
+
+The repo produces three report dataclasses -- offline
+:class:`~repro.analysis.metrics.Evaluation`, faulty-replay
+:class:`~repro.faults.report.DegradationReport`, and live
+:class:`~repro.online.report.OnlineDegradationReport`.  They grew
+independently, so tooling (CLI export, benchmarks, tests) had to know
+each one's quirks.  This module unifies them behind a structural
+:class:`Report` protocol:
+
+* ``as_dict()`` -- flat plain-data summary for table rendering,
+* ``to_json()`` -- a *full-fidelity* JSON envelope
+  (``{"schema_version", "kind", "report": {...}}``),
+* ``from_json()`` -- classmethod inverse of ``to_json``.
+
+Kinds are registered with the :func:`register_report` class decorator;
+:func:`report_from_json` dispatches an envelope of any registered kind
+back to the right class, so callers can round-trip a report without
+knowing its concrete type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Protocol, runtime_checkable
+
+from ..errors import ReproError
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "REPORT_KINDS",
+    "Report",
+    "register_report",
+    "report_to_json",
+    "report_payload",
+    "report_from_json",
+]
+
+REPORT_SCHEMA_VERSION = 1
+
+#: kind -> report class; populated by :func:`register_report`.
+REPORT_KINDS: Dict[str, type] = {}
+
+
+def register_report(kind: str):
+    """Class decorator: register a report dataclass under ``kind``.
+
+    The kind is the wire name used in JSON envelopes; it must be unique
+    across the package (a duplicate registration is a programming error
+    and raises immediately).
+    """
+
+    def decorate(cls: type) -> type:
+        existing = REPORT_KINDS.get(kind)
+        if existing is not None and existing is not cls:
+            raise ReproError(
+                f"report kind {kind!r} already registered to "
+                f"{existing.__name__}"
+            )
+        cls.report_kind = kind
+        REPORT_KINDS[kind] = cls
+        return cls
+
+    return decorate
+
+
+@runtime_checkable
+class Report(Protocol):
+    """Structural interface every report satisfies.
+
+    ``as_dict`` feeds tables (flat summary, may round), ``to_json`` /
+    ``from_json`` round-trip the *complete* field set losslessly.
+    """
+
+    def as_dict(self) -> dict: ...
+
+    def to_json(self) -> str: ...
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report": ...
+
+
+def report_to_json(report: Any) -> str:
+    """Serialize ``report`` into the versioned JSON envelope.
+
+    The payload is ``dataclasses.asdict`` of the full field set (tuples
+    become JSON arrays), wrapped with ``schema_version`` and ``kind`` so
+    :func:`report_from_json` can dispatch it back.  Keys are sorted and
+    the text is stable across runs.
+    """
+    kind = getattr(report, "report_kind", None)
+    if kind is None or REPORT_KINDS.get(kind) is not type(report):
+        raise ReproError(
+            f"{type(report).__name__} is not a registered report class"
+        )
+    envelope = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": kind,
+        "report": dataclasses.asdict(report),
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True)
+
+
+def report_payload(text: str, expected_kind: str | None = None) -> dict:
+    """Parse an envelope, validate it, and return the payload dict.
+
+    Raises :class:`ReproError` on a malformed envelope, an unsupported
+    schema version, an unknown kind, or (when ``expected_kind`` is
+    given) a kind mismatch.
+    """
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed report JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or "report" not in envelope:
+        raise ReproError("report envelope missing 'report' payload")
+    version = envelope.get("schema_version")
+    if version != REPORT_SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported report schema_version {version!r} "
+            f"(expected {REPORT_SCHEMA_VERSION})"
+        )
+    kind = envelope.get("kind")
+    if kind not in REPORT_KINDS:
+        raise ReproError(f"unknown report kind {kind!r}")
+    if expected_kind is not None and kind != expected_kind:
+        raise ReproError(
+            f"expected report kind {expected_kind!r}, got {kind!r}"
+        )
+    return dict(envelope["report"])
+
+
+def report_from_json(text: str) -> Any:
+    """Deserialize any registered report kind from its JSON envelope."""
+    _ensure_kinds_registered()
+    report_payload(text)  # full envelope validation; raises on problems
+    kind = json.loads(text)["kind"]
+    return REPORT_KINDS[kind].from_json(text)
+
+
+def _ensure_kinds_registered() -> None:
+    """Import the modules that define report classes (idempotent)."""
+    from . import metrics  # noqa: F401
+    from ..faults import report as _faults_report  # noqa: F401
+    from ..online import report as _online_report  # noqa: F401

@@ -43,6 +43,15 @@ class Table:
         """All values of one column (missing cells skipped)."""
         return [r[name] for r in self.rows if name in r]
 
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data form for JSON export (title, columns, rows, notes)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """Fixed-width text rendering."""
         widths = {c: len(c) for c in self.columns}

@@ -4,13 +4,18 @@ Subcommands::
 
     repro-dtm run e1 e7 --quick      # rerun experiment tables (default)
     repro-dtm run all --seed 7
+    repro-dtm run e1 --quick --trace-out e1.json   # record a trace
+    repro-dtm trace summarize e1.json              # digest a saved trace
+    repro-dtm trace export e1.json --csv e1.csv
     repro-dtm schedule --topology clique --size 32 --objects 16 --k 2
     repro-dtm figures                # regenerate the paper's figures (ASCII)
     repro-dtm validate sched.json    # check a saved schedule end to end
     repro-dtm --list                 # list experiments
 
-Bare experiment ids (``python -m repro e1 --quick``) are accepted without
-the ``run`` keyword for convenience.
+``run``/``validate`` accept ``--json FILE`` to additionally write their
+results as a versioned JSON document (stable key order, ``schema_version``
+field).  Bare experiment ids (``python -m repro e1 --quick``) are accepted
+without the ``run`` keyword for convenience.
 """
 
 from __future__ import annotations
@@ -18,23 +23,79 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from .experiments.registry import TITLES, experiment_ids, run_experiment
 
 __all__ = ["main"]
 
 
+def _insert_eid(path: str, eid: str) -> str:
+    """``e1.json`` stays put for one target; multi-target runs get
+    ``trace-e1.json``-style names so traces don't overwrite each other."""
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}-{eid}{p.suffix or '.json'}"))
+
+
 def _cmd_run(args) -> int:
     targets = (
         experiment_ids() if "all" in args.experiments else list(args.experiments)
     )
+    tables = {}
     for eid in targets:
+        recorder = None
+        if args.trace_out:
+            from .obs import MemoryRecorder
+
+            recorder = MemoryRecorder(
+                meta={"experiment": eid, "quick": args.quick,
+                      "seed": args.seed}
+            )
         t0 = time.perf_counter()
-        table = run_experiment(eid, seed=args.seed, quick=args.quick)
+        table = run_experiment(
+            eid, seed=args.seed, quick=args.quick, recorder=recorder
+        )
         dt = time.perf_counter() - t0
+        tables[eid] = table
         print(table.to_markdown() if args.markdown else table.render())
         print(f"[{eid} finished in {dt:.1f}s]")
         print()
+        if recorder is not None:
+            from .io import save_trace
+
+            out = (
+                args.trace_out
+                if len(targets) == 1
+                else _insert_eid(args.trace_out, eid)
+            )
+            save_trace(recorder.trace(), out)
+            print(f"trace written to {out}")
+            print()
+    if args.json:
+        from .io import write_json
+
+        write_json(
+            args.json,
+            "experiment_tables",
+            {
+                "seed": args.seed,
+                "quick": args.quick,
+                "tables": {eid: t.as_dict() for eid, t in tables.items()},
+            },
+        )
+        print(f"tables written to {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .io import load_trace, save_trace_csv
+
+    trace = load_trace(args.path)
+    if args.trace_command == "summarize":
+        print(trace.summarize())
+    else:  # export
+        save_trace_csv(trace, args.csv)
+        print(f"csv written to {args.csv}")
     return 0
 
 
@@ -143,6 +204,15 @@ def _cmd_validate(args) -> int:
         f"{schedule.makespan} (lower bound {lb}), communication "
         f"{trace.total_distance}, peak in-flight {trace.max_in_flight}"
     )
+    result = {
+        "path": str(args.path),
+        "valid": True,
+        "commits": len(schedule.commit_times),
+        "makespan": schedule.makespan,
+        "lower_bound": lb,
+        "communication": trace.total_distance,
+        "max_in_flight": trace.max_in_flight,
+    }
     if args.plan:
         from .faults import degradation_report, faulty_execute
 
@@ -150,7 +220,14 @@ def _cmd_validate(args) -> int:
         ftrace = faulty_execute(schedule, plan)
         print(f"fault plan OK: {len(plan)} events validated against the "
               f"network; replay:")
-        print(degradation_report(schedule, plan, ftrace).render())
+        rep = degradation_report(schedule, plan, ftrace)
+        print(rep.render())
+        result["degradation"] = rep.as_dict()
+    if args.json:
+        from .io import write_json
+
+        write_json(args.json, "validation", result)
+        print(f"validation written to {args.json}")
     return 0
 
 
@@ -162,8 +239,11 @@ def _cmd_report(args) -> int:
         seed=args.seed,
         quick=not args.full,
         experiments=args.experiments or None,
+        json_out=args.json,
     )
     print(f"report written to {out}")
+    if args.json:
+        print(f"tables written to {args.json}")
     return 0
 
 
@@ -194,7 +274,26 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--markdown", action="store_true")
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record an observability trace per experiment "
+                            "and write it as JSON")
+    p_run.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the result tables as JSON")
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser("trace", help="inspect a saved trace JSON")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="print a digest of a saved trace"
+    )
+    p_tsum.add_argument("path")
+    p_tsum.set_defaults(func=_cmd_trace)
+    p_texp = trace_sub.add_parser(
+        "export", help="export a saved trace's events as CSV"
+    )
+    p_texp.add_argument("path")
+    p_texp.add_argument("--csv", required=True, metavar="OUT")
+    p_texp.set_defaults(func=_cmd_trace)
 
     p_sched = sub.add_parser("schedule", help="schedule an ad-hoc instance")
     p_sched.add_argument("--topology", required=True)
@@ -221,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
     p_val.add_argument("--plan", default=None,
                        help="fault plan JSON to validate and replay "
                             "against the schedule")
+    p_val.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the validation verdict as JSON")
     p_val.set_defaults(func=_cmd_validate)
 
     p_rep = sub.add_parser(
@@ -230,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--seed", type=int, default=None)
     p_rep.add_argument("--full", action="store_true",
                        help="full sweeps (default: quick)")
+    p_rep.add_argument("--json", default=None, metavar="FILE",
+                       help="also write every table as JSON")
     p_rep.add_argument("experiments", nargs="*", help="subset of e1..e18")
     p_rep.set_defaults(func=_cmd_report)
 

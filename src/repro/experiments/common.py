@@ -15,14 +15,21 @@ import numpy as np
 
 from ..analysis.metrics import Evaluation, evaluate
 from ..analysis.stats import summarize
+from ..analysis.tables import Table
 from ..bounds.lower import makespan_lower_bound, object_report
 from ..core.instance import Instance
 from ..core.retime import compact_schedule
 from ..core.schedule import Schedule
 from ..core.scheduler import Scheduler
+from ..obs.recorder import Recorder, active
 from ..workloads.seeds import spawn
 
-__all__ = ["trial_ratios", "mean_evaluation", "Compacted"]
+__all__ = [
+    "trial_ratios",
+    "mean_evaluation",
+    "Compacted",
+    "attach_metrics_note",
+]
 
 
 class Compacted(Scheduler):
@@ -43,11 +50,14 @@ def trial_ratios(
     trials: int,
     make_instance: Callable[[np.random.Generator], Instance],
     scheduler: Scheduler,
+    recorder: Recorder | None = None,
 ) -> dict[str, float]:
     """Run ``trials`` independent instances; aggregate ratio and makespan.
 
     Returns mean makespan, mean lower bound, mean ratio and its 95% CI
     half-width -- the standard cell contents across experiment tables.
+    ``recorder`` flows into every :func:`evaluate` call, so one recorder
+    observes the whole sweep.
     """
     ratios: list[float] = []
     makespans: list[float] = []
@@ -56,7 +66,7 @@ def trial_ratios(
     for trial in range(trials):
         rng = spawn(seed, exp_id, *config_key, trial)
         inst = make_instance(rng)
-        ev = evaluate(scheduler, inst, rng)
+        ev = evaluate(scheduler, inst, rng, recorder=recorder)
         ratios.append(ev.ratio)
         makespans.append(ev.makespan)
         lbs.append(ev.lower_bound)
@@ -75,7 +85,36 @@ def mean_evaluation(
     schedulers: Sequence[Scheduler],
     instance: Instance,
     rng: np.random.Generator,
+    recorder: Recorder | None = None,
 ) -> list[Evaluation]:
     """Evaluate several schedulers on one instance, sharing its lower bound."""
     lb = makespan_lower_bound(instance, object_report(instance))
-    return [evaluate(s, instance, rng, lower_bound=lb) for s in schedulers]
+    return [
+        evaluate(s, instance, rng, lower_bound=lb, recorder=recorder)
+        for s in schedulers
+    ]
+
+
+def attach_metrics_note(table: Table, recorder: Recorder | None) -> None:
+    """Append the recorder's metric snapshot to ``table`` as a footnote.
+
+    The note carries only the *deterministic* metric planes (counters and
+    histogram counts -- phase timings are wall-clock and excluded), so a
+    recorded table renders identically across same-seed runs.  A no-op
+    when ``recorder`` is None or not recording, which keeps default
+    experiment output byte-identical with or without the observability
+    layer.
+    """
+    rec = active(recorder)
+    if not rec.enabled:
+        return
+    snapshot = getattr(rec, "registry", None)
+    if snapshot is None:  # recorder without a metrics registry
+        return
+    snap = snapshot.snapshot()
+    parts = [f"{k}={v}" for k, v in snap["counters"].items()]
+    parts += [
+        f"{k}.count={h['count']}" for k, h in snap["histograms"].items()
+    ]
+    if parts:
+        table.add_note("metrics: " + ", ".join(parts))

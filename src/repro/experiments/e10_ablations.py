@@ -24,12 +24,18 @@ from ..core.grid import GridScheduler
 from ..network.topologies import cluster, grid
 from ..workloads.generators import partitioned_instance, random_k_subsets
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e10"
 TITLE = "E10: ablations -- grid subgrid side, cluster phase density, approach crossover"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     table = Table(
         TITLE,
@@ -53,7 +59,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
         for trial in range(trials):
             rng = spawn(seed, EXP_ID, "grid-side", sg, trial)
             inst = random_k_subsets(net, w, k, rng)
-            ev = evaluate(GridScheduler(side=sg), inst, rng)
+            ev = evaluate(GridScheduler(side=sg), inst, rng, recorder=recorder)
             mks.append(ev.makespan)
             ratios.append(ev.ratio)
         theory_side = GridScheduler().subgrid_side(
@@ -81,7 +87,10 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 cross_fraction=0.5, rng=rng,
             )
             ev = evaluate(
-                ClusterScheduler(approach=2, ln_factor=ln_factor), inst, rng
+                ClusterScheduler(approach=2, ln_factor=ln_factor),
+                inst,
+                rng,
+                recorder=recorder,
             )
             mks.append(ev.makespan)
             rounds.append(ev.meta.get("rounds_used", 0))
@@ -108,8 +117,8 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 net, groups, objects_per_group=2, k=2,
                 cross_fraction=1.0, rng=rng,
             )
-            m1.append(evaluate(ClusterScheduler(approach=1), inst, rng).makespan)
-            m2.append(evaluate(ClusterScheduler(approach=2), inst, rng).makespan)
+            m1.append(evaluate(ClusterScheduler(approach=1), inst, rng, recorder=recorder).makespan)
+            m2.append(evaluate(ClusterScheduler(approach=2), inst, rng, recorder=recorder).makespan)
         a1, a2 = summarize(m1).mean, summarize(m2).mean
         table.add(
             ablation="approach-crossover",

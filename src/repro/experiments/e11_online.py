@@ -20,12 +20,18 @@ from ..online import (
     run_online,
 )
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e11"
 TITLE = "E11 (extension): online arrivals -- priority managers vs epoch batching"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     rates = [0.2, 1.0] if quick else [0.1, 0.3, 1.0, 3.0]
     networks = [clique(32), grid(6), cluster(4, 6, gamma=8)]
@@ -49,9 +55,12 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 rng = spawn(seed, EXP_ID, net.topology.name, rate, trial)
                 wl = poisson_workload(net, w=w, k=2, rate=rate, count=count, rng=rng)
                 runs = {
-                    "timestamp": run_online(wl),
+                    "timestamp": run_online(wl, recorder=recorder),
                     "random-prio": run_online(
-                        wl, random_priority, rng=spawn(seed, EXP_ID, "rp", trial)
+                        wl,
+                        random_priority,
+                        rng=spawn(seed, EXP_ID, "rp", trial),
+                        recorder=recorder,
                     ),
                     "epoch-batch": run_epoch_batched(
                         wl, rng=spawn(seed, EXP_ID, "eb", trial)

@@ -20,12 +20,18 @@ from ..sim.congestion import congestion_report, serialized_edge_makespan
 from ..sim.reroute import reroute_for_congestion
 from ..workloads.generators import random_k_subsets
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e12"
 TITLE = "E12 (extension): link congestion under the paper's schedules"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     networks = (
         [clique(24), line(48), grid(6)]
@@ -55,7 +61,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
             inst = random_k_subsets(net, w, 2, rng)
             sched = scheduler_for(inst).schedule(inst, rng)
             sched.validate()
-            rep = congestion_report(sched)
+            rep = congestion_report(sched, recorder=recorder)
             mks.append(rep.makespan)
             peaks.append(rep.max_peak)
             repeaks.append(reroute_for_congestion(sched).max_peak)

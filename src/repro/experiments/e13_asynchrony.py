@@ -17,12 +17,18 @@ from ..network.topologies import clique, grid, line
 from ..sim.asynchrony import asynchronous_execute
 from ..workloads.generators import random_k_subsets
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e13"
 TITLE = "E13 (extension): makespan inflation under asynchrony factor phi"
+SUPPORTS_RECORDER = False
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     phis = [1.0, 2.0] if quick else [1.0, 1.5, 2.0, 4.0, 8.0]
     networks = [clique(32), line(64), grid(8)]

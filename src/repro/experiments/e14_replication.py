@@ -17,12 +17,18 @@ from ..core.greedy import GreedyScheduler
 from ..network.topologies import clique, grid
 from ..replication import ReplicatedGreedyScheduler, random_rw_instance
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e14"
 TITLE = "E14 (extension): versioned reads vs single-copy scheduling"
+SUPPORTS_RECORDER = False
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     write_fracs = [0.1, 0.5, 1.0] if quick else [0.0, 0.1, 0.25, 0.5, 1.0]
     networks = [clique(24), grid(5)] if quick else [clique(48), grid(8)]

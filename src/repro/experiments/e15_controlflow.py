@@ -21,12 +21,18 @@ from ..core.retime import compact_schedule
 from ..network.topologies import clique, cluster, grid
 from ..workloads.generators import random_k_subsets, zipf_k_subsets
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e15"
 TITLE = "E15 (extension): data-flow vs control-flow (RPC / migration / hybrid)"
+SUPPORTS_RECORDER = False
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     networks = [clique(24), grid(6)] if quick else [clique(48), grid(10), cluster(6, 8, gamma=8)]
     configs = [(2, "random")] if quick else [(1, "random"), (2, "random"), (4, "random"), (2, "zipf")]

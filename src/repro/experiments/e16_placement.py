@@ -21,9 +21,11 @@ from ..network.topologies import clique, grid, line
 from ..placement import optimize_homes
 from ..workloads.generators import random_k_subsets
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e16"
 TITLE = "E16 (extension): object placement policies"
+SUPPORTS_RECORDER = False
 
 
 def _corner_homes(inst: Instance) -> Instance:
@@ -31,7 +33,11 @@ def _corner_homes(inst: Instance) -> Instance:
     return Instance(inst.network, inst.transactions, homes)
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 5
     networks = [clique(24), line(48)] if quick else [clique(48), line(128), grid(10)]
     table = Table(

@@ -19,12 +19,19 @@ from ..faults import degradation_report, faulty_execute, random_fault_plan
 from ..network.topologies import grid, line
 from ..workloads.generators import random_k_subsets
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
+from .common import attach_metrics_note
 
 EXP_ID = "e17"
 TITLE = "E17 (extension): degradation under injected faults"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 4
     intensities = [0.0, 1.0, 2.0] if quick else [0.0, 0.5, 1.0, 2.0]
     networks = [line(24), grid(6)]
@@ -61,7 +68,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                     crash_rate=0.02,
                     objects=inst.objects,
                 )
-                trace = faulty_execute(sched, plan)
+                trace = faulty_execute(sched, plan, recorder=recorder)
                 rep = degradation_report(sched, plan, trace)
                 cells["faults"].append(rep.fault_count)
                 cells["planned_makespan"].append(rep.planned_makespan)
@@ -86,4 +93,5 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
         "recovery scheduler (docs/FAULTS.md).  stretch can dip below 1 "
         "when a crash strands the latest-committing transactions."
     )
+    attach_metrics_note(table, recorder)
     return table

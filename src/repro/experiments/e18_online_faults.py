@@ -28,12 +28,19 @@ from ..online import (
 )
 from ..sim.sanitizer import InvariantSanitizer
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
+from .common import attach_metrics_note
 
 EXP_ID = "e18"
 TITLE = "E18 (extension): online resilience -- live faults, leases, admission"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     trials = 2 if quick else 4
     intensities = [0.0, 1.0] if quick else [0.0, 0.5, 1.0, 2.0]
     networks = [grid(5), clique(16)]
@@ -63,7 +70,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 rng = spawn(seed, EXP_ID, net.topology.name, intensity, trial)
                 wl = poisson_workload(net, w=w, k=2, rate=1.0, count=count,
                                       rng=rng)
-                healthy = run_online(wl)
+                healthy = run_online(wl, recorder=recorder)
                 # repairable plans only (no crashes, no permanent failures):
                 # every released transaction must commit
                 plan = random_fault_plan(
@@ -74,17 +81,18 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                     objects=wl.instance.objects,
                 )
                 san = InvariantSanitizer()
-                res = run_resilient(wl, plan, sanitizer=san)
+                res = run_resilient(wl, plan, sanitizer=san, recorder=recorder)
                 san_adm = InvariantSanitizer()
                 adm = run_resilient(
                     wl, plan,
                     admission=AdmissionControl(high_water, "shed"),
                     sanitizer=san_adm,
+                    recorder=recorder,
                 )
                 epoch = run_epoch_batched(
                     wl, rng=spawn(seed, EXP_ID, "eb", trial)
                 )
-                trace = faulty_execute(epoch.schedule, plan)
+                trace = faulty_execute(epoch.schedule, plan, recorder=recorder)
                 epoch_resp = [
                     ct - wl.release_of(tid)
                     for tid, ct in trace.realized_commits.items()
@@ -142,4 +150,5 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
         "violations is the invariant sanitizer's count -- zero on a "
         "correct runtime at every intensity."
     )
+    attach_metrics_note(table, recorder)
     return table

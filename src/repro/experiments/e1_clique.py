@@ -16,13 +16,19 @@ from ..core.coloring import greedy_color
 from ..network.topologies import clique
 from ..workloads.generators import hot_object_instance, random_k_subsets
 from ..workloads.seeds import spawn
-from .common import trial_ratios
+from .common import attach_metrics_note, trial_ratios
+from ..obs.recorder import Recorder
 
 EXP_ID = "e1"
 TITLE = "E1 (Theorem 1): clique greedy, ratio vs k"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     ns = [16, 64] if quick else [16, 64, 256]
     ks = [1, 2, 4] if quick else [1, 2, 4, 8]
     trials = 2 if quick else 5
@@ -57,6 +63,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                     trials,
                     lambda rng: gen(net, w, k, rng),
                     sched,
+                    recorder=recorder,
                 )
                 table.add(
                     workload=workload,
@@ -81,4 +88,5 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
         "Theorem 1 predicts ratio = O(k): the ratio_over_k column stays "
         "bounded across the sweep."
     )
+    attach_metrics_note(table, recorder)
     return table

@@ -15,12 +15,18 @@ from ..core.greedy import DiameterScheduler
 from ..network.topologies import butterfly, ddim_grid, hypercube, torus
 from ..workloads.generators import random_k_subsets
 from .common import trial_ratios
+from ..obs.recorder import Recorder
 
 EXP_ID = "e2"
 TITLE = "E2 (§3.1): diameter-d greedy (hypercube/butterfly/torus), ratio vs k*d"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     dims = [3, 4, 5] if quick else [3, 4, 5, 6, 7]
     ks = [1, 2, 4] if quick else [1, 2, 4, 8]
     trials = 2 if quick else 5
@@ -61,6 +67,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                     trials,
                     lambda rng: random_k_subsets(net, w, k, rng),
                     sched,
+                    recorder=recorder,
                 )
                 table.add(
                     family=family,

@@ -14,12 +14,18 @@ from ..network.topologies import line
 from ..workloads.generators import line_span_instance, random_k_subsets
 from ..workloads.seeds import spawn
 from .common import trial_ratios
+from ..obs.recorder import Recorder
 
 EXP_ID = "e3"
 TITLE = "E3 (Theorem 2, Fig 1): line scheduler, constant-factor ratios"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     ns = [32, 128] if quick else [32, 128, 512, 1024]
     spans = [4, 8, 32] if quick else [4, 8, 32, 128]
     trials = 2 if quick else 5
@@ -68,6 +74,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 trials,
                 lambda rng: line_span_instance(net, w, 2, span, rng),
                 sched,
+                recorder=recorder,
             )
             table.add(
                 workload="span-limited",
@@ -87,6 +94,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
             trials,
             lambda rng: random_k_subsets(net, max(4, n // 8), 2, rng),
             sched,
+            recorder=recorder,
         )
         table.add(
             workload="uniform",

@@ -18,12 +18,18 @@ from ..sim.engine import execute
 from ..workloads.generators import random_k_subsets
 from ..workloads.seeds import spawn
 from .common import trial_ratios
+from ..obs.recorder import Recorder
 
 EXP_ID = "e4"
 TITLE = "E4 (Theorem 3, Fig 2): grid scheduler on random k-subsets"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     sides = [8, 12] if quick else [8, 12, 16, 24]
     ks = [1, 2] if quick else [1, 2, 4]
     trials = 2 if quick else 5
@@ -59,6 +65,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 trials,
                 lambda rng: random_k_subsets(net, w, k, rng),
                 sched,
+                recorder=recorder,
             )
             m = max(net.n, w)
             table.add(
@@ -81,7 +88,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
     sched = GridScheduler(side=4)
     s = sched.schedule(inst)
     s.validate()
-    trace = execute(s, record_commits=False)
+    trace = execute(s, record_commits=False, recorder=recorder)
     hot = max(inst.objects, key=inst.load)
     table.add(
         block="fig2",

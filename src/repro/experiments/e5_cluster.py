@@ -18,12 +18,18 @@ from ..core.cluster import ClusterScheduler, object_cluster_spread
 from ..network.topologies import cluster
 from ..workloads.generators import partitioned_instance
 from ..workloads.seeds import spawn
+from ..obs.recorder import Recorder
 
 EXP_ID = "e5"
 TITLE = "E5 (Theorem 4, Alg 1, Fig 3): cluster approaches and their envelope"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     alphas = [5] if quick else [5, 10]
     betas = [4, 8] if quick else [4, 8, 16, 32]
     crosses = [0.0, 0.5] if quick else [0.0, 0.25, 0.5, 1.0]
@@ -61,7 +67,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                         rng=rng,
                     )
                     sigmas.append(object_cluster_spread(inst))
-                    e1 = evaluate(ClusterScheduler(approach=1), inst, rng)
+                    e1 = evaluate(ClusterScheduler(approach=1), inst, rng, recorder=recorder)
                     # approach 2 and auto's internal approach 2 must see
                     # identical random streams so auto is exactly their min
                     rng_a2 = spawn(seed, EXP_ID, alpha, beta, cross, trial, "a2")
@@ -71,12 +77,14 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                         inst,
                         rng_a2,
                         lower_bound=e1.lower_bound,
+                        recorder=recorder,
                     )
                     ea = evaluate(
                         ClusterScheduler(approach="auto"),
                         inst,
                         rng_auto,
                         lower_bound=e1.lower_bound,
+                        recorder=recorder,
                     )
                     mk1.append(e1.makespan)
                     mk2.append(e2.makespan)

@@ -17,12 +17,18 @@ from ..core.star import StarScheduler, ray_segments
 from ..network.topologies import star
 from ..workloads.generators import partitioned_instance, random_k_subsets
 from .common import trial_ratios
+from ..obs.recorder import Recorder
 
 EXP_ID = "e6"
 TITLE = "E6 (Theorem 5, Fig 4): star scheduler across ray geometries"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     configs = (
         [(4, 7), (8, 7)] if quick else [(4, 7), (8, 7), (8, 15), (8, 31), (16, 15)]
     )
@@ -57,6 +63,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 trials,
                 lambda rng: random_k_subsets(net, w, k, rng),
                 sched,
+                recorder=recorder,
             )
             table.add(
                 workload="random",
@@ -86,6 +93,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 rng=rng,
             ),
             sched,
+            recorder=recorder,
         )
         table.add(
             workload="ray-local",

@@ -30,9 +30,11 @@ from ..bounds.lower import makespan_lower_bound, object_report
 from ..core.greedy import GreedyScheduler
 from ..workloads.seeds import spawn
 from .common import mean_evaluation
+from ..obs.recorder import Recorder
 
 EXP_ID = "e7"
 TITLE = "E7 (Theorem 6, Fig 5): grid hard instances -- schedules cannot track TSP tours"
+SUPPORTS_RECORDER = True
 
 
 def run_hard_instances(
@@ -41,6 +43,7 @@ def run_hard_instances(
     builder: Callable[[int, np.random.Generator], HardInstance],
     seed: int | None,
     quick: bool,
+    recorder: Recorder | None = None,
 ) -> Table:
     """Shared E7/E8 protocol over a §8 instance builder."""
     ss = [4, 9] if quick else [4, 9, 16, 25]
@@ -72,7 +75,7 @@ def run_hard_instances(
         report = object_report(inst)
         max_tour = max(ob.tour_estimate for ob in report.values())
         lb = makespan_lower_bound(inst, report)
-        evals = mean_evaluation(schedulers, inst, rng)
+        evals = mean_evaluation(schedulers, inst, rng, recorder=recorder)
         best = min(evals, key=lambda e: e.makespan)
         gap = best.makespan / max(max_tour, 1)
         table.add(
@@ -95,5 +98,11 @@ def run_hard_instances(
     return table
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
-    return run_hard_instances(EXP_ID, TITLE, hard_grid_instance, seed, quick)
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
+    return run_hard_instances(
+        EXP_ID, TITLE, hard_grid_instance, seed, quick, recorder=recorder
+    )

@@ -9,10 +9,18 @@ from __future__ import annotations
 from ..analysis.tables import Table
 from ..bounds.construction import hard_tree_instance
 from .e7_lower_bound_grid import run_hard_instances
+from ..obs.recorder import Recorder
 
 EXP_ID = "e8"
 TITLE = "E8 (§8.2, Fig 6): tree hard instances -- schedules cannot track TSP tours"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
-    return run_hard_instances(EXP_ID, TITLE, hard_tree_instance, seed, quick)
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
+    return run_hard_instances(
+        EXP_ID, TITLE, hard_tree_instance, seed, quick, recorder=recorder
+    )

@@ -31,12 +31,18 @@ from ..network.topologies import (
 from ..workloads.generators import random_k_subsets
 from ..workloads.seeds import spawn
 from .common import Compacted
+from ..obs.recorder import Recorder
 
 EXP_ID = "e9"
 TITLE = "E9: paper schedulers vs serialization / priority baselines"
+SUPPORTS_RECORDER = True
 
 
-def run(seed: int | None = None, quick: bool = False) -> Table:
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
     k = 2
     networks = (
         [clique(32), line(64), grid(8), cluster(4, 6, 8), star(6, 7)]
@@ -82,7 +88,7 @@ def run(seed: int | None = None, quick: bool = False) -> Table:
                 ("tsp-order", TSPOrderScheduler()),
             ]
             for label, sched in contenders:
-                ev = evaluate(sched, inst, rng, lower_bound=lb)
+                ev = evaluate(sched, inst, rng, lower_bound=lb, recorder=recorder)
                 agg.setdefault(label, []).append(
                     (ev.makespan, ev.ratio, ev.communication_cost)
                 )

@@ -1,10 +1,29 @@
-"""Experiment registry: id -> runnable experiment module."""
+"""Experiment registry: id -> runnable experiment module.
+
+Every experiment module must export the normalized contract::
+
+    EXP_ID: str
+    TITLE: str
+    SUPPORTS_RECORDER: bool
+    def run(seed=None, quick=False, recorder=None) -> Table
+
+``SUPPORTS_RECORDER`` declares whether the module actually threads the
+recorder into an instrumented runtime (``False`` means the argument is
+accepted for uniformity but ignored).  The contract is validated at
+import time by :func:`_validate_module`, so signature drift fails loudly
+the moment a module diverges instead of surfacing as a confusing
+``TypeError`` deep inside a sweep.
+"""
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ..analysis.tables import Table
+from ..errors import ReproError
+from ..obs.recorder import Recorder
 from . import (
     e1_clique,
     e2_hypercube,
@@ -26,7 +45,13 @@ from . import (
     e18_online_faults,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = [
+    "EXPERIMENTS",
+    "EXPERIMENT_INFO",
+    "ExperimentInfo",
+    "run_experiment",
+    "experiment_ids",
+]
 
 _MODULES = [
     e1_clique,
@@ -49,6 +74,48 @@ _MODULES = [
     e18_online_faults,
 ]
 
+#: the exact parameter contract every experiment ``run`` must expose
+_RUN_PARAMS = (("seed", None), ("quick", False), ("recorder", None))
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Static metadata describing one registered experiment."""
+
+    id: str
+    title: str
+    supports_recorder: bool
+
+
+def _validate_module(mod) -> ExperimentInfo:
+    """Check ``mod`` against the normalized contract; raise on drift."""
+    name = mod.__name__
+    for attr in ("EXP_ID", "TITLE", "SUPPORTS_RECORDER", "run"):
+        if not hasattr(mod, attr):
+            raise ReproError(f"experiment module {name} is missing {attr}")
+    sig = inspect.signature(mod.run)
+    params = [
+        (p.name, p.default)
+        for p in sig.parameters.values()
+        if p.kind
+        in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+    ]
+    if tuple(params) != _RUN_PARAMS:
+        raise ReproError(
+            f"{name}.run has drifted from the normalized signature "
+            f"run(seed=None, quick=False, recorder=None): got {sig}"
+        )
+    return ExperimentInfo(
+        id=mod.EXP_ID,
+        title=mod.TITLE,
+        supports_recorder=bool(mod.SUPPORTS_RECORDER),
+    )
+
+
+EXPERIMENT_INFO: Mapping[str, ExperimentInfo] = {
+    mod.EXP_ID: _validate_module(mod) for mod in _MODULES
+}
+
 EXPERIMENTS: Mapping[str, Callable[..., Table]] = {
     mod.EXP_ID: mod.run for mod in _MODULES
 }
@@ -62,13 +129,21 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(
-    exp_id: str, seed: int | None = None, quick: bool = False
+    exp_id: str,
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
 ) -> Table:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``recorder`` is forwarded to the experiment's ``run``; modules whose
+    :class:`ExperimentInfo` has ``supports_recorder=False`` accept it but
+    record nothing.
+    """
     try:
         runner = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; choose from {experiment_ids()}"
         ) from None
-    return runner(seed=seed, quick=quick)
+    return runner(seed=seed, quick=quick, recorder=recorder)

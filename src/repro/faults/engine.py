@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.schedule import Schedule
 from ..errors import FaultError
+from ..obs import events as obs_events
+from ..obs.recorder import Recorder, active
 from ..sim.trace import CommitEvent
 from .backoff import RetryPolicy
 from .plan import FaultPlan
@@ -196,6 +198,7 @@ def faulty_execute(
     schedule: Schedule,
     plan: FaultPlan,
     policy: RetryPolicy | None = None,
+    recorder: Recorder | None = None,
 ) -> FaultyTrace:
     """Replay ``schedule`` against ``plan``, absorbing every fault it can.
 
@@ -203,7 +206,11 @@ def faulty_execute(
     when a disruption exceeds the retry budget and
     :class:`~repro.errors.RecoveryError` when a node crash leaves no
     reschedulable surviving suffix (degraded network disconnected).
+    ``recorder`` is an optional :class:`~repro.obs.Recorder` sink; the
+    replay narrates hops, commits, recoveries, and losses through it
+    without altering any realized outcome.
     """
+    rec = active(recorder)
     policy = policy or RetryPolicy()
     inst = schedule.instance
     net = inst.network
@@ -258,31 +265,52 @@ def faulty_execute(
             if ev is not None:
                 idx = plan.index_of(ev)
                 attribution[idx] = attribution.get(idx, 0) + 1
+                if rec.enabled:
+                    rec.record(obs_events.CrashEvent(ev.time, n))
+                    rec.count("faults.crashes")
         # restore replicas parked on dead nodes from their durable home
         disturbed = False
         for obj in sorted(position):
             if position[obj] in dead:
                 disturbed = True
                 home = inst.home(obj)
+                prev = position[obj]
                 if home in dead:
                     unrecoverable.add(obj)
                 else:
                     position[obj] = home
                     free_at[obj] = max(free_at[obj], base)
+                if rec.enabled:
+                    rec.record(
+                        obs_events.LeaseRecoveryEvent(
+                            base, obj, prev, home, home not in dead
+                        )
+                    )
+                    rec.count("faults.lease_recoveries")
         pending = order[i:]
         survivors = []
         for t in pending:
             if t.node in dead:
-                lost.append((t.tid, f"node {t.node} crashed"))
+                reason = f"node {t.node} crashed"
+                lost.append((t.tid, reason))
                 disturbed = True
+                if rec.enabled:
+                    rec.record(obs_events.LostEvent(base, t.tid, reason))
+                    rec.count("faults.lost")
             elif t.objects & unrecoverable:
                 objs = sorted(t.objects & unrecoverable)
-                lost.append((t.tid, f"objects {objs} unrecoverable"))
+                reason = f"objects {objs} unrecoverable"
+                lost.append((t.tid, reason))
                 disturbed = True
+                if rec.enabled:
+                    rec.record(obs_events.LostEvent(base, t.tid, reason))
+                    rec.count("faults.lost")
             else:
                 survivors.append(t)
         if survivors and disturbed:
             recoveries += 1
+            if rec.enabled:
+                rec.count("faults.recoveries")
             splice = reschedule_survivors(
                 inst, survivors, dict(position),
                 plan.permanent_down_edges(base), base,
@@ -324,6 +352,8 @@ def faulty_execute(
             continue
         if commit > planned[txn.tid]:
             deferred += 1
+            if rec.enabled:
+                rec.count("faults.deferred_commits")
         realized[txn.tid] = commit
         for obj, leg in legs:
             if leg.hops:
@@ -332,6 +362,10 @@ def faulty_execute(
                     object_distance[obj] = (
                         object_distance.get(obj, 0) + exit_ - enter
                     )
+                    if rec.enabled:
+                        rec.record(
+                            obs_events.HopEvent(enter, obj, edge[0], edge[1])
+                        )
                 flight_events.append((leg.depart, 1))
                 flight_events.append((leg.arrival, -1))
                 idle += commit - leg.arrival
@@ -340,6 +374,13 @@ def faulty_execute(
             _merge_attr(leg.attribution)
             position[obj] = txn.node
             free_at[obj] = commit
+        if rec.enabled:
+            rec.record(
+                obs_events.CommitEvent(
+                    commit, txn.tid, txn.node, tuple(sorted(txn.objects))
+                )
+            )
+            rec.count("faults.commits")
         commits.append(
             CommitEvent(commit, txn.tid, txn.node, tuple(sorted(txn.objects)))
         )
@@ -350,6 +391,12 @@ def faulty_execute(
     for _, delta in flight_events:
         in_flight += delta
         max_in_flight = max(max_in_flight, in_flight)
+
+    if rec.enabled:
+        rec.count("faults.retries", retries)
+        rec.count("faults.reroutes", reroutes)
+        rec.gauge("faults.makespan", max(realized.values(), default=0))
+        rec.gauge("faults.max_in_flight", max_in_flight)
 
     return FaultyTrace(
         makespan=max(realized.values(), default=0),

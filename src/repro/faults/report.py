@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..analysis.report import register_report, report_payload, report_to_json
 from ..core.schedule import Schedule
 from .engine import FaultyTrace
 from .plan import FaultPlan
@@ -20,6 +21,7 @@ from .plan import FaultPlan
 __all__ = ["DegradationReport", "degradation_report"]
 
 
+@register_report("degradation")
 @dataclass(frozen=True)
 class DegradationReport:
     """Realized-vs-planned outcome of one faulty replay.
@@ -62,6 +64,19 @@ class DegradationReport:
             "deferred_commits": self.deferred_commits,
             "faults": self.fault_count,
         }
+
+    def to_json(self) -> str:
+        """Full-fidelity JSON envelope (see :mod:`repro.analysis.report`)."""
+        return report_to_json(self)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DegradationReport":
+        """Inverse of :meth:`to_json`."""
+        payload = report_payload(text, expected_kind="degradation")
+        payload["attribution"] = tuple(
+            (str(desc), int(count)) for desc, count in payload["attribution"]
+        )
+        return cls(**payload)
 
     def render(self) -> str:
         """Multi-line human-readable summary."""

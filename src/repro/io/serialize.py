@@ -27,6 +27,11 @@ from ..faults.plan import (
 from ..network.graph import Network, Topology
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "json_payload",
+    "dumps_canonical",
+    "write_json",
+    "read_json",
     "network_to_dict",
     "network_from_dict",
     "instance_to_dict",
@@ -44,6 +49,53 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+#: version stamped on every JSON document the package writes
+SCHEMA_VERSION = 1
+
+
+def json_payload(kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap ``body`` in the standard versioned envelope.
+
+    Every JSON document the CLI and persistence layer emit carries
+    ``schema_version`` and ``kind`` at the top so readers can dispatch
+    and future-proof without sniffing the structure.
+    """
+    return {"schema_version": SCHEMA_VERSION, "kind": kind, "body": body}
+
+
+def dumps_canonical(payload: Dict[str, Any]) -> str:
+    """The one JSON writer: sorted keys, 2-space indent, stable bytes."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_json(path: str | Path, kind: str, body: Dict[str, Any]) -> None:
+    """Write ``body`` to ``path`` inside the versioned envelope."""
+    Path(path).write_text(dumps_canonical(json_payload(kind, body)))
+
+
+def read_json(path: str | Path, expected_kind: str | None = None) -> Dict[str, Any]:
+    """Read an enveloped JSON document and return its body.
+
+    Raises :class:`ReproError` on an unreadable file, a missing or
+    unsupported ``schema_version``, or (when ``expected_kind`` is given)
+    a kind mismatch.
+    """
+    payload = _load(path)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ReproError(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    kind = payload.get("kind")
+    if expected_kind is not None and kind != expected_kind:
+        raise ReproError(
+            f"{path}: expected kind {expected_kind!r}, got {kind!r}"
+        )
+    if "body" not in payload:
+        raise ReproError(f"{path}: envelope missing 'body'")
+    return payload["body"]
 
 
 def _jsonable_params(params: Dict[str, Any]) -> Dict[str, Any]:
@@ -190,7 +242,7 @@ def fault_plan_from_json(
 
 
 def _save(path: str | Path, payload: Dict[str, Any]) -> None:
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    Path(path).write_text(dumps_canonical(payload))
 
 
 def _load(path: str | Path) -> Dict[str, Any]:

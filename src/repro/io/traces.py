@@ -1,0 +1,34 @@
+"""Persistence for observability traces (:class:`~repro.obs.RunTrace`).
+
+A saved trace is the standard versioned envelope with kind
+``run_trace``; ``repro-dtm trace summarize`` consumes these files and
+reproduces the run's headline numbers (event counts, makespan, hottest
+edge) without re-running anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..obs.export import trace_from_dict, trace_to_csv, trace_to_dict
+from ..obs.trace import RunTrace
+from .serialize import read_json, write_json
+
+__all__ = ["save_trace", "load_trace", "save_trace_csv"]
+
+TRACE_KIND = "run_trace"
+
+
+def save_trace(trace: RunTrace, path: str | Path) -> None:
+    """Write a trace to a JSON file (versioned envelope, stable bytes)."""
+    write_json(path, TRACE_KIND, trace_to_dict(trace))
+
+
+def load_trace(path: str | Path) -> RunTrace:
+    """Read a trace from a JSON file written by :func:`save_trace`."""
+    return trace_from_dict(read_json(path, expected_kind=TRACE_KIND))
+
+
+def save_trace_csv(trace: RunTrace, path: str | Path) -> None:
+    """Write the trace's event stream as ``kind,time,detail`` CSV."""
+    Path(path).write_text(trace_to_csv(trace))

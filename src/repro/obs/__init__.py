@@ -1,0 +1,87 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+The paper's guarantees are all about *where time goes* -- colour gaps,
+object walks, congestion on hot edges -- and this package gives every
+runtime one way to show it.  Three planes, one sink:
+
+* **events** (:mod:`repro.obs.events`): typed records of object hops,
+  commits, retries, reroutes, lease recoveries, admission decisions;
+* **metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
+  fixed-bucket histograms, deterministic for identical runs;
+* **profiling** (:mod:`repro.obs.profile`): opt-in wall/CPU timers
+  around the schedule -> route -> execute phases.
+
+Everything emits through the :class:`Recorder` protocol.  The default
+:class:`NullRecorder` (what ``recorder=None`` resolves to) is a no-op
+whose overhead is bounded below 5% by ``benchmarks/bench_kernels.py``;
+recording never changes behaviour, so traced and untraced runs are
+bit-identical in schedule and makespan under the same seed.  Use a
+:class:`MemoryRecorder` to capture a :class:`RunTrace` and export it via
+:mod:`repro.io` (``save_trace`` / ``load_trace``) or the CLI
+(``repro-dtm run e1 --quick --trace-out t.json`` then
+``repro-dtm trace summarize t.json``).
+"""
+
+from .events import (
+    EVENT_TYPES,
+    AdmissionEvent,
+    CommitEvent,
+    CrashEvent,
+    DispatchEvent,
+    HopEvent,
+    LeaseRecoveryEvent,
+    LostEvent,
+    RerouteEvent,
+    RetryEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from .export import trace_from_dict, trace_to_csv, trace_to_dict
+from .metrics import (
+    DEFAULT_BUCKET_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profile import PhaseTimer, PhaseTiming, total_wall
+from .recorder import (
+    NULL_RECORDER,
+    MemoryRecorder,
+    NullRecorder,
+    Recorder,
+    active,
+)
+from .trace import RunTrace
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "NULL_RECORDER",
+    "active",
+    "RunTrace",
+    "HopEvent",
+    "CommitEvent",
+    "RetryEvent",
+    "RerouteEvent",
+    "LeaseRecoveryEvent",
+    "AdmissionEvent",
+    "DispatchEvent",
+    "CrashEvent",
+    "LostEvent",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKET_EDGES",
+    "PhaseTiming",
+    "PhaseTimer",
+    "total_wall",
+    "trace_to_dict",
+    "trace_from_dict",
+    "trace_to_csv",
+]

@@ -1,0 +1,72 @@
+"""Plain-data round trips for exported traces.
+
+These are the dict-level halves of trace persistence; the file-level
+halves (``save_trace`` / ``load_trace`` / ``save_trace_csv``) live in
+:mod:`repro.io.traces` next to the other persistence entry points, so
+every byte that reaches disk flows through the unified serializer with
+its schema-version field and stable key order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from typing import Any, Dict
+
+from .events import event_from_dict, event_to_dict
+from .profile import PhaseTiming
+from .trace import RunTrace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "trace_to_csv"]
+
+
+def trace_to_dict(trace: RunTrace) -> Dict[str, Any]:
+    """Plain-data form of a :class:`RunTrace` (JSON-safe)."""
+    return {
+        "events": [event_to_dict(e) for e in trace.events],
+        "metrics": trace.metrics,
+        "phases": [
+            {"name": p.name, "wall_s": p.wall_s, "cpu_s": p.cpu_s}
+            for p in trace.phases
+        ],
+        "meta": dict(trace.meta),
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> RunTrace:
+    """Inverse of :func:`trace_to_dict`.
+
+    Raises :class:`~repro.errors.ReproError` on unknown event kinds.
+    """
+    return RunTrace(
+        events=tuple(event_from_dict(e) for e in data.get("events", [])),
+        metrics=dict(data.get("metrics", {})),
+        phases=tuple(
+            PhaseTiming(p["name"], p["wall_s"], p["cpu_s"])
+            for p in data.get("phases", [])
+        ),
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def trace_to_csv(trace: RunTrace) -> str:
+    """Render the event stream as CSV: ``kind,time,detail``.
+
+    ``detail`` is the event's remaining fields as a compact JSON object
+    with sorted keys -- greppable, spreadsheet-loadable, stable.
+    """
+    buf = _io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["kind", "time", "detail"])
+    for event in trace.events:
+        rec = event_to_dict(event)
+        detail = {
+            k: v for k, v in rec.items() if k not in ("kind", "time")
+        }
+        writer.writerow([
+            rec["kind"],
+            rec["time"],
+            json.dumps(detail, sort_keys=True, separators=(",", ":")),
+        ])
+    return buf.getvalue()

@@ -1,0 +1,146 @@
+"""Lightweight deterministic metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the aggregate half of the observability
+layer -- where the event stream answers *what happened when*, metrics
+answer *how much in total*.  Everything here is deterministic given the
+same run: histograms use **fixed bucket edges** (no adaptive resizing, so
+the same inputs always land in the same buckets) and snapshots render
+names in sorted order, which keeps exported JSON byte-stable under the
+unified serializer's ``sort_keys``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: default histogram bucket upper edges (values > the last edge overflow)
+DEFAULT_BUCKET_EDGES: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins measurement (also tracks the max ever set)."""
+
+    value: float = 0.0
+    max_value: float = 0.0
+    _set: bool = False
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        self.max_value = value if not self._set else max(self.max_value, value)
+        self._set = True
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram (deterministic for identical inputs).
+
+    ``edges`` are inclusive upper bounds; a value lands in the first
+    bucket whose edge is >= the value, or in the overflow bucket past the
+    last edge.  ``counts`` has ``len(edges) + 1`` cells.
+    """
+
+    edges: Tuple[float, ...] = DEFAULT_BUCKET_EDGES
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.edges)) != tuple(self.edges) or not self.edges:
+            raise ValueError(f"bucket edges must be sorted and non-empty: "
+                             f"{self.edges}")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.n += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed samples (0.0 when empty)."""
+        return self.total / self.n if self.n else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with a stable snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(
+        self, name: str, edges: Tuple[float, ...] = DEFAULT_BUCKET_EDGES
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (edges fixed at creation)."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(edges=edges)
+            return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view of every metric, names in sorted order."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "max": g.max_value}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.n,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,63 @@
+"""Opt-in profiling hooks: per-phase wall/CPU timers.
+
+Phases are the coarse stations of a run -- ``schedule`` (the scheduler
+thinks), ``route`` (legs become hop plans), ``execute`` (commits are
+verified and statistics accumulated) -- plus whatever an experiment adds.
+A :class:`PhaseTiming` records both wall-clock and CPU seconds so an
+I/O-bound stall is distinguishable from real work.
+
+Timings are *not* deterministic and are deliberately excluded from the
+trace-equality guarantees; they ride along in exported traces for humans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["PhaseTiming", "PhaseTimer", "total_wall"]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """One completed phase: name plus wall and CPU seconds."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+
+
+class PhaseTimer:
+    """Context manager timing one phase and reporting it to a sink.
+
+    ``sink`` receives the finished :class:`PhaseTiming` on exit (also on
+    exception -- a crashing phase still reports how long it ran).
+    """
+
+    __slots__ = ("name", "_sink", "_wall0", "_cpu0")
+
+    def __init__(self, name: str, sink: Callable[[PhaseTiming], None]) -> None:
+        self.name = name
+        self._sink = sink
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sink(
+            PhaseTiming(
+                name=self.name,
+                wall_s=time.perf_counter() - self._wall0,
+                cpu_s=time.process_time() - self._cpu0,
+            )
+        )
+
+
+def total_wall(phases: List[PhaseTiming], name: str) -> float:
+    """Sum of wall seconds across every timing of phase ``name``."""
+    return sum(p.wall_s for p in phases if p.name == name)

@@ -1,0 +1,135 @@
+"""The Recorder protocol: one sink for every runtime's observations.
+
+Every instrumented entry point takes ``recorder=None`` and resolves it
+with :func:`active`: ``None`` becomes the shared :data:`NULL_RECORDER`,
+whose ``enabled`` flag is False.  Hot loops guard each emission with
+``if rec.enabled:`` so the untraced path pays a single attribute check
+per site -- the <5% no-op overhead bound asserted by
+``benchmarks/bench_kernels.py``.  Crucially, recording is *passive*:
+no recorder may influence control flow, so traced and untraced runs
+produce bit-identical schedules and makespans under the same seed
+(asserted by the parity tests in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, ContextManager, Dict, List, Optional, Protocol, Tuple
+
+from .events import TraceEvent
+from .metrics import DEFAULT_BUCKET_EDGES, MetricsRegistry
+from .profile import PhaseTimer, PhaseTiming
+from .trace import RunTrace
+
+__all__ = ["Recorder", "NullRecorder", "MemoryRecorder", "NULL_RECORDER",
+           "active"]
+
+
+class Recorder(Protocol):
+    """What an observability sink must offer.
+
+    ``enabled`` gates every emission; when False the other methods are
+    never called on the hot path (and must still be harmless no-ops if
+    they are).
+    """
+
+    enabled: bool
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one typed event to the trace."""
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name``."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+
+    def observe(
+        self, name: str, value: float,
+        edges: Tuple[float, ...] = DEFAULT_BUCKET_EDGES,
+    ) -> None:
+        """Add a sample to histogram ``name``."""
+
+    def phase(self, name: str) -> ContextManager[Any]:
+        """Context manager timing one named phase."""
+
+
+_NULL_CONTEXT = contextlib.nullcontext()
+
+
+class NullRecorder:
+    """The default sink: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def record(self, event: TraceEvent) -> None:
+        """Discard the event."""
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Discard the increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard the measurement."""
+
+    def observe(self, name, value, edges=DEFAULT_BUCKET_EDGES) -> None:
+        """Discard the sample."""
+
+    def phase(self, name: str) -> ContextManager[None]:
+        """Return a reusable do-nothing context manager."""
+        return _NULL_CONTEXT
+
+
+#: the shared no-op sink every ``recorder=None`` resolves to
+NULL_RECORDER = NullRecorder()
+
+
+def active(recorder: Optional[Recorder]) -> Recorder:
+    """Resolve an optional recorder argument to a concrete sink."""
+    return NULL_RECORDER if recorder is None else recorder
+
+
+class MemoryRecorder:
+    """An in-memory sink collecting events, metrics, and phase timings.
+
+    ``meta`` tags the eventual :class:`~repro.obs.trace.RunTrace`
+    (experiment id, seed, ...).  One recorder may span several runs --
+    e.g. a whole experiment sweep -- in which case events from every run
+    accumulate in arrival order.
+    """
+
+    enabled = True
+
+    def __init__(self, meta: Dict[str, Any] | None = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.registry = MetricsRegistry()
+        self.phases: List[PhaseTiming] = []
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one typed event."""
+        self.events.append(event)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name``."""
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name, value, edges=DEFAULT_BUCKET_EDGES) -> None:
+        """Add a sample to histogram ``name``."""
+        self.registry.histogram(name, edges).observe(value)
+
+    def phase(self, name: str) -> ContextManager[PhaseTimer]:
+        """Time a phase; the finished timing lands in :attr:`phases`."""
+        return PhaseTimer(name, self.phases.append)
+
+    def trace(self) -> RunTrace:
+        """Freeze everything recorded so far into a :class:`RunTrace`."""
+        return RunTrace(
+            events=tuple(self.events),
+            metrics=self.registry.snapshot(),
+            phases=tuple(self.phases),
+            meta=dict(self.meta),
+        )

@@ -1,0 +1,116 @@
+"""The run-level trace container produced by a recording recorder.
+
+A :class:`RunTrace` bundles the three observability planes of one run:
+the typed event stream (:mod:`repro.obs.events`), the metrics snapshot
+(:mod:`repro.obs.metrics`), and the phase timings
+(:mod:`repro.obs.profile`), plus free-form ``meta`` (experiment id, seed,
+...).  Derived views -- event counts by kind, per-edge traffic, the
+hottest edge -- are recomputed from the event stream with exactly the
+same tie-breaking as :class:`repro.sim.trace.Trace`, so a summarized
+exported trace reproduces the engine's own congestion verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .events import CommitEvent, HopEvent, TraceEvent
+from .profile import PhaseTiming
+
+__all__ = ["RunTrace"]
+
+
+@dataclass
+class RunTrace:
+    """Everything one recording run observed."""
+
+    events: Tuple[TraceEvent, ...] = ()
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    phases: Tuple[PhaseTiming, ...] = ()
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of events per kind, kinds in sorted order."""
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def edge_traffic(self) -> Dict[Tuple[int, int], int]:
+        """Traversal count per undirected edge, from the hop events."""
+        traffic: Dict[Tuple[int, int], int] = {}
+        for e in self.events:
+            if isinstance(e, HopEvent):
+                key = (min(e.src, e.dst), max(e.src, e.dst))
+                traffic[key] = traffic.get(key, 0) + 1
+        return traffic
+
+    @property
+    def hottest_edge(self) -> Optional[Tuple[Tuple[int, int], int]]:
+        """Most-traversed edge and its traffic (ties broken like
+        :attr:`repro.sim.trace.Trace.hottest_edge`), or None."""
+        traffic = self.edge_traffic
+        if not traffic:
+            return None
+        edge = max(traffic, key=lambda e: (traffic[e], e))
+        return edge, traffic[edge]
+
+    @property
+    def commit_times(self) -> Dict[int, int]:
+        """tid -> commit step, from the commit events."""
+        return {
+            e.tid: e.time for e in self.events if isinstance(e, CommitEvent)
+        }
+
+    @property
+    def makespan(self) -> int:
+        """Time of the last observed commit (0 when none)."""
+        return max(self.commit_times.values(), default=0)
+
+    def summarize(self) -> str:
+        """Multi-line human-readable digest of the trace."""
+        counts = self.counts_by_kind()
+        lines = []
+        if self.meta:
+            lines.append(
+                "meta: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.meta.items())
+                )
+            )
+        lines.append(
+            f"events: {len(self.events)} total"
+            + (
+                " (" + ", ".join(f"{k}={n}" for k, n in counts.items()) + ")"
+                if counts
+                else ""
+            )
+        )
+        if self.makespan:
+            lines.append(f"makespan: {self.makespan} "
+                         f"({len(self.commit_times)} commits)")
+        hot = self.hottest_edge
+        if hot is not None:
+            (u, v), n = hot
+            lines.append(f"hottest edge: ({u}, {v}) x {n}")
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append(
+                "counters: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(counters.items())
+                )
+            )
+        # aggregate phases by name (a sweep times each phase many times);
+        # first-seen order matches the schedule -> route -> execute pipeline
+        agg: Dict[str, list] = {}
+        for p in self.phases:
+            slot = agg.setdefault(p.name, [0, 0.0, 0.0])
+            slot[0] += 1
+            slot[1] += p.wall_s
+            slot[2] += p.cpu_s
+        for name, (n, wall, cpu) in agg.items():
+            lines.append(
+                f"phase {name}: x{n} wall {wall:.4f}s cpu {cpu:.4f}s"
+            )
+        return "\n".join(lines)

@@ -15,9 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..analysis.report import register_report, report_payload, report_to_json
+
 __all__ = ["OnlineDegradationReport"]
 
 
+@register_report("online_degradation")
 @dataclass(frozen=True)
 class OnlineDegradationReport:
     """Degradation accounting for one resilient online run.
@@ -68,6 +71,22 @@ class OnlineDegradationReport:
             "faults": self.fault_count,
             "violations": self.violations,
         }
+
+    def to_json(self) -> str:
+        """Full-fidelity JSON envelope (see :mod:`repro.analysis.report`)."""
+        return report_to_json(self)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OnlineDegradationReport":
+        """Inverse of :meth:`to_json`."""
+        payload = report_payload(text, expected_kind="online_degradation")
+        payload["lost"] = tuple(
+            (int(tid), str(reason)) for tid, reason in payload["lost"]
+        )
+        payload["shed"] = tuple(
+            (int(tid), str(reason)) for tid, reason in payload["shed"]
+        )
+        return cls(**payload)
 
     def render(self) -> str:
         """Multi-line human-readable summary."""

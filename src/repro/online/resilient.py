@@ -45,6 +45,8 @@ from ..errors import FaultError, OverloadError, SchedulingError
 from ..faults.backoff import RetryPolicy
 from ..faults.plan import FaultPlan
 from ..faults.routing import path_avoiding
+from ..obs import events as obs_events
+from ..obs.recorder import Recorder, active
 from ..sim.sanitizer import InvariantSanitizer
 from .arrivals import OnlineWorkload, TimedTransaction
 from .report import OnlineDegradationReport
@@ -150,6 +152,7 @@ def run_resilient(
     admission: AdmissionControl | None = None,
     sanitizer: InvariantSanitizer | None = None,
     max_steps: int | None = None,
+    recorder: Recorder | None = None,
 ) -> ResilientResult:
     """Run the priority contention manager against a live fault plan.
 
@@ -159,8 +162,12 @@ def run_resilient(
     fault, e.g. a permanent partition).  ``admission`` enables load
     shedding; ``sanitizer`` audits every step.  Raises
     :class:`SchedulingError` past ``max_steps`` (defaults to the healthy
-    bound plus the plan's fault horizon and retry budget).
+    bound plus the plan's fault horizon and retry budget).  ``recorder``
+    is an optional :class:`~repro.obs.Recorder` sink narrating retries,
+    reroutes, lease recoveries, admission decisions, crashes, and
+    commits; recording never changes the run's decisions.
     """
+    rec = active(recorder)
     plan = plan if plan is not None else FaultPlan()
     policy = policy or RetryPolicy()
     inst = workload.instance
@@ -211,6 +218,14 @@ def run_resilient(
         retries += 1
         fl.hop_end = None
         fl.retry_at = now + policy.wait(fl.attempt)
+        if rec.enabled:
+            rec.record(
+                obs_events.RetryEvent(
+                    now, fl.obj, position[fl.obj], fl.attempt,
+                    policy.wait(fl.attempt),
+                )
+            )
+            rec.count("resilient.retries")
 
     def _try_depart(fl: _Flight, now: int) -> None:
         """Enter the next hop at ``now``, or back off if blocked."""
@@ -234,6 +249,11 @@ def run_resilient(
                 return
             if down and path != net.shortest_path(pos, fl.dest):
                 reroutes += 1
+                if rec.enabled:
+                    rec.record(
+                        obs_events.RerouteEvent(now, fl.obj, pos, fl.dest)
+                    )
+                    rec.count("resilient.reroutes")
             fl.path = path
         nxt = fl.path[1]
         if sanitizer is not None:
@@ -246,21 +266,35 @@ def run_resilient(
     def _rehome(obj: int) -> None:
         """Restore ``obj`` from its durable home after a lease died."""
         nonlocal rehomed
+        prev = position[obj]
         flights.pop(obj, None)
         home = inst.home(obj)
         position[obj] = home
         if home in dead:
             unrecoverable.add(obj)
+            recovered = False
         else:
             rehomed += 1
+            recovered = True
+        if rec.enabled:
+            rec.record(
+                obs_events.LeaseRecoveryEvent(t, obj, prev, home, recovered)
+            )
+            rec.count("resilient.lease_recoveries")
 
     def _drop_pending(tid: int, reason: str) -> None:
         lost.append((tid, reason))
+        if rec.enabled:
+            rec.record(obs_events.LostEvent(t, tid, reason))
+            rec.count("resilient.lost")
         del pending[tid]
 
     def _crash(node: int) -> None:
         """Fire ``node``'s crash: kill its compute plane, re-home leases."""
         dead.add(node)
+        if rec.enabled:
+            rec.record(obs_events.CrashEvent(t, node))
+            rec.count("resilient.crashes")
         for tid in sorted(pending):
             if pending[tid].node == node:
                 _drop_pending(tid, f"node {node} crashed")
@@ -287,12 +321,25 @@ def run_resilient(
     def _admit(timed: TimedTransaction) -> None:
         txn = timed.txn
         if txn.node in dead:
-            lost.append((txn.tid, f"node {txn.node} crashed"))
+            reason = f"node {txn.node} crashed"
+            lost.append((txn.tid, reason))
+            if rec.enabled:
+                rec.record(obs_events.LostEvent(t, txn.tid, reason))
+                rec.count("resilient.lost")
             return
         gone = txn.objects & unrecoverable
         if gone:
-            lost.append((txn.tid, f"objects {sorted(gone)} unrecoverable"))
+            reason = f"objects {sorted(gone)} unrecoverable"
+            lost.append((txn.tid, reason))
+            if rec.enabled:
+                rec.record(obs_events.LostEvent(t, txn.tid, reason))
+                rec.count("resilient.lost")
             return
+        if rec.enabled:
+            rec.record(
+                obs_events.AdmissionEvent(t, txn.tid, "admit", len(pending))
+            )
+            rec.count("resilient.admitted")
         pending[txn.tid] = txn
 
     def _room() -> bool:
@@ -344,9 +391,23 @@ def run_resilient(
                     f"{len(pending)} pending >= high-water "
                     f"{admission.high_water} at t={t}",
                 ))
+                if rec.enabled:
+                    rec.record(
+                        obs_events.AdmissionEvent(
+                            t, timed.txn.tid, "shed", len(pending)
+                        )
+                    )
+                    rec.count("resilient.shed")
             else:
                 deferred.append(timed)
                 deferred_admissions += 1
+                if rec.enabled:
+                    rec.record(
+                        obs_events.AdmissionEvent(
+                            t, timed.txn.tid, "defer", len(pending)
+                        )
+                    )
+                    rec.count("resilient.deferred")
         # commits: any pending transaction with all objects on-node
         committed_now = [
             txn
@@ -361,6 +422,13 @@ def run_resilient(
                 sanitizer.check_commit(
                     t, txn, position, flights.keys(), release
                 )
+            if rec.enabled:
+                rec.record(
+                    obs_events.CommitEvent(
+                        t, txn.tid, txn.node, tuple(sorted(txn.objects))
+                    )
+                )
+                rec.count("resilient.commits")
             commits[txn.tid] = t
             del pending[txn.tid]
         if sanitizer is not None:
@@ -374,6 +442,13 @@ def run_resilient(
                 continue
             if sanitizer is not None:
                 sanitizer.check_dispatch(t, obj, target, pending, prio)
+            if rec.enabled:
+                rec.record(
+                    obs_events.DispatchEvent(
+                        t, obj, position[obj], target.node, target.tid
+                    )
+                )
+                rec.count("resilient.dispatches")
             fl = _Flight(obj, target.node, target.tid)
             flights[obj] = fl
             _try_depart(fl, t)
@@ -394,6 +469,10 @@ def run_resilient(
             raise SchedulingError(
                 f"transaction {tid} committed before release"
             )
+    if rec.enabled:
+        rec.gauge("resilient.makespan", max(commits.values(), default=0))
+        for tid, ct in sorted(commits.items()):
+            rec.observe("resilient.response", ct - release[tid])
     report = OnlineDegradationReport(
         released=workload.m,
         committed=len(commits),

@@ -25,6 +25,8 @@ import numpy as np
 
 from ..core.schedule import Schedule
 from ..errors import SchedulingError
+from ..obs import events as obs_events
+from ..obs.recorder import Recorder, active
 from .arrivals import OnlineWorkload
 
 __all__ = ["OnlineResult", "run_online", "timestamp_priority", "random_priority"]
@@ -82,6 +84,7 @@ def run_online(
     rng: np.random.Generator | None = None,
     max_steps: int | None = None,
     sanitizer=None,
+    recorder: Recorder | None = None,
 ) -> OnlineResult:
     """Run the priority contention manager to completion.
 
@@ -92,7 +95,10 @@ def run_online(
     ``sanitizer`` is an optional
     :class:`~repro.sim.sanitizer.InvariantSanitizer` whose step hooks
     audit every commit and dispatch (None, the default, adds no work).
+    ``recorder`` is an optional :class:`~repro.obs.Recorder` sink for
+    dispatch/commit events; recording never changes the run's decisions.
     """
+    rec = active(recorder)
     inst = workload.instance
     net = inst.network
     prio = priority(workload, rng) if rng is not None else priority(workload)
@@ -145,6 +151,13 @@ def run_online(
         for txn in sorted(committed_now, key=lambda txn: prio[txn.tid]):
             if sanitizer is not None:
                 sanitizer.check_commit(t, txn, position, moving, release_times)
+            if rec.enabled:
+                rec.record(
+                    obs_events.CommitEvent(
+                        t, txn.tid, txn.node, tuple(sorted(txn.objects))
+                    )
+                )
+                rec.count("online.commits")
             commits[txn.tid] = t
             del pending[txn.tid]
         if sanitizer is not None:
@@ -158,6 +171,13 @@ def run_online(
                 continue
             if sanitizer is not None:
                 sanitizer.check_dispatch(t, obj, target, pending, prio)
+            if rec.enabled:
+                rec.record(
+                    obs_events.DispatchEvent(
+                        t, obj, position[obj], target.node, target.tid
+                    )
+                )
+                rec.count("online.dispatches")
             d = net.dist(position[obj], target.node)
             heapq.heappush(in_transit, (t + d, obj, target.node))
             moving.add(obj)
@@ -173,6 +193,10 @@ def run_online(
         inst, commits, meta={"scheduler": "online-priority"}
     )
     release = {a.txn.tid: a.release for a in workload.arrivals}
+    if rec.enabled:
+        rec.gauge("online.makespan", schedule.makespan)
+        for tid, ct in sorted(commits.items()):
+            rec.observe("online.response", ct - release[tid])
     for tid, ct in commits.items():
         if ct < release[tid]:  # pragma: no cover - construction prevents it
             raise SchedulingError(

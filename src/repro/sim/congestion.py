@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..core.schedule import Schedule
+from ..obs.recorder import Recorder, active
 from .routing import Hop, plan_leg
 
 __all__ = ["CongestionReport", "congestion_report", "serialized_edge_makespan"]
@@ -54,44 +55,58 @@ def _edge_key(hop: Hop) -> Tuple[int, int]:
     return (min(hop.src, hop.dst), max(hop.src, hop.dst))
 
 
-def congestion_report(schedule: Schedule) -> CongestionReport:
-    """Measure the schedule's per-link concurrency and capacity-1 bound."""
+def congestion_report(
+    schedule: Schedule, recorder: Recorder | None = None
+) -> CongestionReport:
+    """Measure the schedule's per-link concurrency and capacity-1 bound.
+
+    ``recorder`` is an optional observability sink; the analysis phase is
+    timed and the headline congestion gauges are published through it.
+    """
+    rec = active(recorder)
     inst = schedule.instance
     net = inst.network
-    intervals: Dict[Tuple[int, int], list[tuple[int, int]]] = {}
-    for obj, visits in schedule.itineraries():
-        for a, b in zip(visits, visits[1:]):
-            if a.node == b.node:
-                continue
-            leg = plan_leg(net, obj, a.node, b.node, a.time, b.time)
-            for hop in leg.hops:
-                intervals.setdefault(_edge_key(hop), []).append(
-                    (hop.enter, hop.exit)
-                )
+    with rec.phase("congestion"):
+        intervals: Dict[Tuple[int, int], list[tuple[int, int]]] = {}
+        for obj, visits in schedule.itineraries():
+            for a, b in zip(visits, visits[1:]):
+                if a.node == b.node:
+                    continue
+                leg = plan_leg(net, obj, a.node, b.node, a.time, b.time)
+                for hop in leg.hops:
+                    intervals.setdefault(_edge_key(hop), []).append(
+                        (hop.enter, hop.exit)
+                    )
 
-    peak: Dict[Tuple[int, int], int] = {}
-    exclusive: Dict[Tuple[int, int], int] = {}
-    for edge, ivals in intervals.items():
-        events: list[tuple[int, int]] = []
-        total = 0
-        for enter, exit_ in ivals:
-            events.append((enter, 1))
-            events.append((exit_, -1))
-            total += exit_ - enter
-        events.sort()
-        cur = best = 0
-        for _, delta in events:
-            cur += delta
-            best = max(best, cur)
-        peak[edge] = best
-        exclusive[edge] = total
+        peak: Dict[Tuple[int, int], int] = {}
+        exclusive: Dict[Tuple[int, int], int] = {}
+        for edge, ivals in intervals.items():
+            events: list[tuple[int, int]] = []
+            total = 0
+            for enter, exit_ in ivals:
+                events.append((enter, 1))
+                events.append((exit_, -1))
+                total += exit_ - enter
+            events.sort()
+            cur = best = 0
+            for _, delta in events:
+                cur += delta
+                best = max(best, cur)
+            peak[edge] = best
+            exclusive[edge] = total
 
-    return CongestionReport(
+    report = CongestionReport(
         peak_concurrency=peak,
         exclusive_time=exclusive,
         capacity1_lower_bound=max(exclusive.values(), default=0),
         makespan=schedule.makespan,
     )
+    if rec.enabled:
+        rec.gauge("congestion.max_peak", report.max_peak)
+        rec.gauge(
+            "congestion.capacity1_lower_bound", report.capacity1_lower_bound
+        )
+    return report
 
 
 def serialized_edge_makespan(schedule: Schedule) -> int:

@@ -20,19 +20,28 @@ from typing import Dict, List
 
 from ..core.schedule import Schedule
 from ..errors import InfeasibleScheduleError
+from ..obs import events as obs_events
+from ..obs.recorder import Recorder, active
 from .routing import Leg, plan_leg
 from .trace import CommitEvent, Trace
 
 __all__ = ["execute"]
 
 
-def execute(schedule: Schedule, record_commits: bool = True) -> Trace:
+def execute(
+    schedule: Schedule,
+    record_commits: bool = True,
+    recorder: Recorder | None = None,
+) -> Trace:
     """Run ``schedule`` through the synchronous engine.
 
     Raises :class:`InfeasibleScheduleError` if any object cannot make a
     scheduled trip in time or any transaction commits without its objects
-    present.  Returns the execution trace.
+    present.  Returns the execution trace.  ``recorder`` is an optional
+    :class:`~repro.obs.Recorder` observability sink; recording is passive
+    (the returned trace is identical with or without it).
     """
+    rec = active(recorder)
     inst = schedule.instance
     net = inst.network
 
@@ -41,85 +50,115 @@ def execute(schedule: Schedule, record_commits: bool = True) -> Trace:
     # which `obj` sits at the committing transaction's node for that visit.
     presence: Dict[tuple[int, int], tuple[float, float, int]] = {}
 
-    for obj, visits in schedule.itineraries():
-        # time the object becomes present at each visit
-        arrivals: List[int] = [0]
-        for a, b in zip(visits, visits[1:]):
-            if a.node == b.node:
-                arrivals.append(arrivals[-1])
-                continue
-            leg = plan_leg(net, obj, a.node, b.node, a.time, b.time)
-            if leg.arrive > b.time:
-                raise InfeasibleScheduleError(
-                    f"object {obj} departs node {a.node} at t={a.time} but "
-                    f"reaches node {b.node} at t={leg.arrive} > commit "
-                    f"t={b.time}"
-                )
-            legs.append(leg)
-            arrivals.append(leg.arrive)
-        for i, v in enumerate(visits):
-            if v.tid < 0:
-                continue
-            # the object departs toward the next *distinct* node at that
-            # visit's scheduled time; until then it stays put
-            departure: float = math.inf
-            for nxt in visits[i + 1 :]:
-                if nxt.node != v.node:
-                    departure = v.time  # forwarded right after commit
-                    break
-                # consecutive same-node visits share the object in place
-            presence[(obj, v.tid)] = (arrivals[i], departure, v.node)
+    with rec.phase("route"):
+        for obj, visits in schedule.itineraries():
+            # time the object becomes present at each visit
+            arrivals: List[int] = [0]
+            for a, b in zip(visits, visits[1:]):
+                if a.node == b.node:
+                    arrivals.append(arrivals[-1])
+                    continue
+                leg = plan_leg(net, obj, a.node, b.node, a.time, b.time)
+                if leg.arrive > b.time:
+                    raise InfeasibleScheduleError(
+                        f"object {obj} departs node {a.node} at t={a.time} "
+                        f"but reaches node {b.node} at t={leg.arrive} > "
+                        f"commit t={b.time}"
+                    )
+                legs.append(leg)
+                arrivals.append(leg.arrive)
+            for i, v in enumerate(visits):
+                if v.tid < 0:
+                    continue
+                # the object departs toward the next *distinct* node at that
+                # visit's scheduled time; until then it stays put
+                departure: float = math.inf
+                for nxt in visits[i + 1 :]:
+                    if nxt.node != v.node:
+                        departure = v.time  # forwarded right after commit
+                        break
+                    # consecutive same-node visits share the object in place
+                presence[(obj, v.tid)] = (arrivals[i], departure, v.node)
 
     commits: List[CommitEvent] = []
-    for t in sorted(inst.transactions, key=lambda t: schedule.time_of(t.tid)):
-        ct = schedule.time_of(t.tid)
-        for obj in sorted(t.objects):
-            entry = presence.get((obj, t.tid))
-            if entry is None:  # pragma: no cover - itinerary covers users
-                raise InfeasibleScheduleError(
-                    f"transaction {t.tid} commits at t={ct} but object "
-                    f"{obj} has no visit for it"
+    with rec.phase("execute"):
+        for t in sorted(
+            inst.transactions, key=lambda t: schedule.time_of(t.tid)
+        ):
+            ct = schedule.time_of(t.tid)
+            for obj in sorted(t.objects):
+                entry = presence.get((obj, t.tid))
+                if entry is None:  # pragma: no cover - itinerary covers users
+                    raise InfeasibleScheduleError(
+                        f"transaction {t.tid} commits at t={ct} but object "
+                        f"{obj} has no visit for it"
+                    )
+                arrival, departure, node = entry
+                if node != t.node:  # pragma: no cover - itinerary invariant
+                    raise InfeasibleScheduleError(
+                        f"object {obj} visit for transaction {t.tid} targets "
+                        f"node {node}, not the transaction's node {t.node}"
+                    )
+                if arrival > ct:
+                    raise InfeasibleScheduleError(
+                        f"transaction {t.tid} commits at t={ct} but object "
+                        f"{obj} only arrives at node {t.node} at t={arrival}"
+                    )
+                if departure < ct:
+                    raise InfeasibleScheduleError(
+                        f"object {obj} departs node {t.node} at "
+                        f"t={departure}, before transaction {t.tid}'s "
+                        f"commit at t={ct}"
+                    )
+            if record_commits:
+                commits.append(
+                    CommitEvent(ct, t.tid, t.node, tuple(sorted(t.objects)))
                 )
-            arrival, departure, node = entry
-            if node != t.node:  # pragma: no cover - itinerary invariant
-                raise InfeasibleScheduleError(
-                    f"object {obj} visit for transaction {t.tid} targets "
-                    f"node {node}, not the transaction's node {t.node}"
+            if rec.enabled:
+                rec.record(
+                    obs_events.CommitEvent(
+                        ct, t.tid, t.node, tuple(sorted(t.objects))
+                    )
                 )
-            if arrival > ct:
-                raise InfeasibleScheduleError(
-                    f"transaction {t.tid} commits at t={ct} but object "
-                    f"{obj} only arrives at node {t.node} at t={arrival}"
-                )
-            if departure < ct:
-                raise InfeasibleScheduleError(
-                    f"object {obj} departs node {t.node} at t={departure}, "
-                    f"before transaction {t.tid}'s commit at t={ct}"
-                )
-        if record_commits:
-            commits.append(
-                CommitEvent(ct, t.tid, t.node, tuple(sorted(t.objects)))
-            )
+                rec.count("sim.commits")
 
-    # statistics
-    object_distance: Dict[int, int] = {}
-    edge_traffic: Dict[tuple[int, int], int] = {}
-    idle = 0
-    events: List[tuple[int, int]] = []  # (time, +1/-1) in-flight sweep
-    for leg in legs:
-        object_distance[leg.obj] = object_distance.get(leg.obj, 0) + leg.distance
-        for hop in leg.hops:
-            key = (min(hop.src, hop.dst), max(hop.src, hop.dst))
-            edge_traffic[key] = edge_traffic.get(key, 0) + 1
-        idle += leg.deadline - leg.arrive
-        events.append((leg.depart, 1))
-        events.append((leg.arrive, -1))
-    events.sort(key=lambda e: (e[0], e[1]))
-    in_flight = 0
-    max_in_flight = 0
-    for _, delta in events:
-        in_flight += delta
-        max_in_flight = max(max_in_flight, in_flight)
+        # statistics
+        object_distance: Dict[int, int] = {}
+        edge_traffic: Dict[tuple[int, int], int] = {}
+        idle = 0
+        events: List[tuple[int, int]] = []  # (time, +1/-1) in-flight sweep
+        for leg in legs:
+            object_distance[leg.obj] = (
+                object_distance.get(leg.obj, 0) + leg.distance
+            )
+            for hop in leg.hops:
+                key = (min(hop.src, hop.dst), max(hop.src, hop.dst))
+                edge_traffic[key] = edge_traffic.get(key, 0) + 1
+                if rec.enabled:
+                    rec.record(
+                        obs_events.HopEvent(
+                            hop.enter, leg.obj, hop.src, hop.dst
+                        )
+                    )
+            idle += leg.deadline - leg.arrive
+            events.append((leg.depart, 1))
+            events.append((leg.arrive, -1))
+        events.sort(key=lambda e: (e[0], e[1]))
+        in_flight = 0
+        max_in_flight = 0
+        for _, delta in events:
+            in_flight += delta
+            max_in_flight = max(max_in_flight, in_flight)
+
+    if rec.enabled:
+        rec.count("sim.hops", sum(len(leg.hops) for leg in legs))
+        rec.count("sim.legs", len(legs))
+        for leg in legs:
+            rec.observe("sim.leg_distance", leg.distance)
+        rec.gauge("sim.makespan", schedule.makespan)
+        rec.gauge("sim.max_in_flight", max_in_flight)
+        rec.gauge("sim.total_distance", sum(object_distance.values()))
+        rec.gauge("sim.idle_object_time", idle)
 
     return Trace(
         makespan=schedule.makespan,

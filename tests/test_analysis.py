@@ -39,14 +39,22 @@ class TestEvaluate:
         off = evaluate(GreedyScheduler(), inst, rng, simulate=False)
         assert on.communication_cost == off.communication_cost
 
-    def test_as_row_shape(self):
+    def test_as_dict_shape(self):
         rng = np.random.default_rng(3)
         inst = random_k_subsets(clique(8), w=3, k=2, rng=rng)
-        row = evaluate(GreedyScheduler(), inst, rng).as_row()
+        row = evaluate(GreedyScheduler(), inst, rng).as_dict()
         assert set(row) == {
             "scheduler", "makespan", "lower_bound", "ratio",
             "comm_cost", "runtime_s",
         }
+
+    def test_as_row_deprecated_shim(self):
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(clique(8), w=3, k=2, rng=rng)
+        ev = evaluate(GreedyScheduler(), inst, rng)
+        with pytest.warns(DeprecationWarning):
+            row = ev.as_row()
+        assert row == ev.as_dict()
 
 
 class TestStats:

@@ -26,6 +26,7 @@ SUBMODULES = [
     "repro.io",
     "repro.viz",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

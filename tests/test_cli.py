@@ -36,6 +36,58 @@ class TestRun:
             # not an experiment id and not a subcommand -> argparse error
             main(["e42", "--quick"])
 
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "tables.json"
+        assert main(["run", "e1", "--quick", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["kind"] == "experiment_tables"
+        assert "e1" in doc["body"]["tables"]
+        assert doc["body"]["tables"]["e1"]["rows"]
+
+
+class TestTrace:
+    def test_trace_out_and_summarize_reproduce_hottest_edge(
+        self, tmp_path, capsys
+    ):
+        from repro.io import load_trace
+
+        path = tmp_path / "e1-trace.json"
+        assert main([
+            "run", "e1", "--quick", "--seed", "3",
+            "--trace-out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        trace = load_trace(path)
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        (u, v), n = trace.hottest_edge
+        assert f"hottest edge: ({u}, {v}) x {n}" in out
+        assert "events:" in out and "counters:" in out
+
+    def test_trace_export_csv(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        csv_path = tmp_path / "t.csv"
+        assert main([
+            "run", "e1", "--quick", "--trace-out", str(path),
+        ]) == 0
+        assert main([
+            "trace", "export", str(path), "--csv", str(csv_path),
+        ]) == 0
+        lines = csv_path.read_text().strip().split("\n")
+        assert lines[0] == "kind,time,detail"
+        assert len(lines) > 1
+
+    def test_multi_target_traces_get_distinct_files(self, tmp_path, capsys):
+        base = tmp_path / "trace.json"
+        assert main([
+            "run", "e1", "e3", "--quick", "--trace-out", str(base),
+        ]) == 0
+        assert (tmp_path / "trace-e1.json").exists()
+        assert (tmp_path / "trace-e3.json").exists()
+
 
 class TestSchedule:
     def test_clique_schedule(self, capsys):
@@ -65,6 +117,21 @@ class TestSchedule:
         assert path.exists()
         assert main(["validate", str(path)]) == 0
         assert "OK:" in capsys.readouterr().out
+
+    def test_validate_json_verdict(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "s.json"
+        verdict = tmp_path / "verdict.json"
+        assert main([
+            "schedule", "--topology", "grid", "--size", "4",
+            "--objects", "4", "--save", str(path),
+        ]) == 0
+        assert main(["validate", str(path), "--json", str(verdict)]) == 0
+        doc = json.loads(verdict.read_text())
+        assert doc["kind"] == "validation"
+        assert doc["body"]["valid"] is True
+        assert doc["body"]["makespan"] >= 1
 
     def test_gantt_output(self, capsys):
         assert main([

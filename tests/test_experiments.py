@@ -35,6 +35,52 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown experiment"):
             run_experiment("e99")
 
+    def test_experiment_info_metadata(self):
+        from repro.experiments.registry import EXPERIMENT_INFO
+
+        assert set(EXPERIMENT_INFO) == set(EXPERIMENTS)
+        for eid, info in EXPERIMENT_INFO.items():
+            assert info.id == eid
+            assert info.title == TITLES[eid]
+            assert isinstance(info.supports_recorder, bool)
+        # the instrumented runtimes' experiments must advertise support
+        for eid in ("e1", "e17", "e18"):
+            assert EXPERIMENT_INFO[eid].supports_recorder
+
+    def test_normalized_run_signatures(self):
+        import inspect
+
+        from repro.experiments.registry import _MODULES
+
+        for mod in _MODULES:
+            params = list(inspect.signature(mod.run).parameters)
+            assert params == ["seed", "quick", "recorder"], mod.__name__
+
+    def test_signature_drift_fails_loudly(self):
+        import types
+
+        from repro.errors import ReproError
+        from repro.experiments.registry import _validate_module
+
+        drifted = types.ModuleType("e99_drifted")
+        drifted.EXP_ID = "e99"
+        drifted.TITLE = "drifted"
+        drifted.SUPPORTS_RECORDER = False
+        drifted.run = lambda seed=None, quick=False: None  # no recorder
+        with pytest.raises(ReproError, match="drifted from the normalized"):
+            _validate_module(drifted)
+
+    def test_missing_contract_attr_fails_loudly(self):
+        import types
+
+        from repro.errors import ReproError
+        from repro.experiments.registry import _validate_module
+
+        bare = types.ModuleType("e99_bare")
+        bare.EXP_ID = "e99"
+        with pytest.raises(ReproError, match="missing"):
+            _validate_module(bare)
+
 
 class TestTablesWellFormed:
     def test_every_experiment_produces_rows(self, tables):
