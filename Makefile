@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci bench experiments figures quick-experiments trace-demo clean
+.PHONY: install test ci bench bench-snapshot bench-check experiments figures quick-experiments trace-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,15 @@ ci:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# write a new BENCH_<n>.json performance snapshot (median of 3 passes)
+bench-snapshot:
+	PYTHONPATH=src $(PYTHON) benchmarks/harness.py
+
+# regression gate: rerun the harness and fail on any benchmark that
+# slowed >20% (raw and machine-normalized) vs the newest BENCH_<n>.json
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/harness.py --quick --check
 
 experiments:
 	$(PYTHON) -m repro all | tee full_experiments.txt

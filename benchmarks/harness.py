@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Bench-regression harness entry point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py                # full run
+    PYTHONPATH=src python benchmarks/harness.py --quick        # fewer repeats
+    PYTHONPATH=src python benchmarks/harness.py --out BENCH_5.json
+    PYTHONPATH=src python benchmarks/harness.py --check        # regression gate
+
+``--check`` runs the harness, compares against the newest committed
+``BENCH_<n>.json`` (or ``--baseline FILE``), and exits non-zero if any
+benchmark's machine-normalized time regressed by more than 20%.
+Without ``--check`` it writes a new snapshot (``--out`` or the next free
+``BENCH_<n>.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.benchreg import (  # noqa: E402  (path bootstrap above)
+    compare_snapshots,
+    latest_snapshot_path,
+    load_snapshot,
+    merge_runs,
+    next_snapshot_path,
+    run_harness,
+    write_snapshot,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (same benchmarks and sizes)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="snapshot path (default: next BENCH_<n>.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline instead of "
+                             "writing a snapshot; exit 1 on regression")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline snapshot for --check "
+                             "(default: newest BENCH_<n>.json)")
+    parser.add_argument("--runs", type=int, default=3, metavar="N",
+                        help="harness passes merged by per-bench median "
+                             "(default: 3); medians vote out anomalously "
+                             "fast/slow machine windows")
+    args = parser.parse_args(argv)
+
+    runs = args.runs
+    print(f"bench harness ({'quick' if args.quick else 'full'} mode, "
+          f"{runs} pass{'es' if runs != 1 else ''})")
+    bodies = []
+    for i in range(runs):
+        if runs > 1:
+            print(f"pass {i + 1}/{runs}:")
+        bodies.append(run_harness(quick=args.quick, verbose=True))
+    # baselines keep the typical (median) timing; checks keep the best
+    # (min), since check-side noise only ever inflates a measurement
+    body = merge_runs(bodies, reduce="min" if args.check else "median")
+    for group, s in sorted(body["speedups"].items()):
+        print(f"  speedup {group:24s} {s['speedup']:5.2f}x "
+              f"({s['reference_s'] * 1e3:.1f} ms -> "
+              f"{s['vectorized_s'] * 1e3:.1f} ms)")
+
+    if args.check:
+        baseline_path = (
+            Path(args.baseline) if args.baseline else latest_snapshot_path(ROOT)
+        )
+        if baseline_path is None:
+            print("bench-check: no BENCH_<n>.json baseline found", file=sys.stderr)
+            return 2
+        baseline = load_snapshot(baseline_path)
+        regressions, notes = compare_snapshots(baseline, body)
+        for note in notes:
+            print(f"  note: {note}")
+        if regressions:
+            print(f"bench-check FAILED vs {baseline_path.name}:")
+            for reg in regressions:
+                print(f"  REGRESSION {reg.describe()}")
+            return 1
+        print(f"bench-check OK vs {baseline_path.name} "
+              f"({len(baseline.get('results', {}))} benchmarks)")
+        return 0
+
+    out = Path(args.out) if args.out else next_snapshot_path(ROOT)
+    write_snapshot(body, out)
+    print(f"snapshot written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

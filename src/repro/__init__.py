@@ -20,7 +20,7 @@ Quickstart::
     net = repro.network.clique(64)
     rng = repro.workloads.root_rng(7)
     inst = repro.workloads.random_k_subsets(net, w=16, k=2, rng=rng)
-    sched = repro.schedule_instance(inst, rng)
+    sched = repro.schedule(inst, rng=rng)  # algo="auto", kernel="auto"
     sched.validate()
     print(sched.makespan, repro.bounds.makespan_lower_bound(inst))
 """
@@ -43,14 +43,18 @@ from . import (
 from .errors import FaultError, RecoveryError, ReproError
 from .placement import median_node, optimize_homes
 from .core import (
+    SCHEDULER_INFO,
     Instance,
     Schedule,
+    SchedulerInfo,
     Transaction,
     available_schedulers,
     get_scheduler,
+    resolve_scheduler,
     schedule_instance,
     scheduler_for,
 )
+from .core.dispatch import schedule
 
 __version__ = "1.0.0"
 
@@ -76,6 +80,10 @@ __all__ = [
     "Schedule",
     "optimize_homes",
     "median_node",
+    "schedule",
+    "resolve_scheduler",
+    "SchedulerInfo",
+    "SCHEDULER_INFO",
     "schedule_instance",
     "scheduler_for",
     "get_scheduler",

@@ -1,0 +1,34 @@
+"""Bench-regression harness: schema-versioned performance snapshots.
+
+``run_harness`` times a fixed set of kernel benchmarks (reference vs
+vectorized where both exist), normalizes the timings by a calibration
+workload so snapshots from different machines stay comparable, and
+writes ``BENCH_<n>.json``.  ``compare_snapshots`` flags any benchmark
+whose normalized time regressed by more than the threshold -- the
+``make bench-check`` gate.
+"""
+
+from .harness import BENCH_SPECS, BenchSpec, merge_runs, run_harness
+from .snapshot import (
+    BENCH_SCHEMA_VERSION,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    write_snapshot,
+)
+from .compare import REGRESSION_THRESHOLD, Regression, compare_snapshots
+
+__all__ = [
+    "BENCH_SPECS",
+    "BenchSpec",
+    "run_harness",
+    "merge_runs",
+    "BENCH_SCHEMA_VERSION",
+    "write_snapshot",
+    "load_snapshot",
+    "latest_snapshot_path",
+    "next_snapshot_path",
+    "REGRESSION_THRESHOLD",
+    "Regression",
+    "compare_snapshots",
+]

@@ -1,0 +1,69 @@
+"""Regression comparison between two bench snapshots.
+
+A benchmark regresses only when it slowed past the threshold in *both*
+raw seconds and calibration-normalized units.  The normalized check
+makes snapshots portable -- a uniformly slower machine shifts every
+benchmark and the calibration together, cancelling out -- while the raw
+check keeps calibration jitter from amplifying same-machine noise into
+a false failure.  A real slowdown moves both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["REGRESSION_THRESHOLD", "Regression", "compare_snapshots"]
+
+REGRESSION_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that slowed past the threshold (raw and normalized)."""
+
+    name: str
+    baseline: float
+    current: float
+    baseline_raw_s: float
+    current_raw_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.baseline:.3f} -> {self.current:.3f} "
+            f"normalized ({(self.ratio - 1) * 100:+.1f}%), "
+            f"{self.baseline_raw_s * 1e3:.2f} -> "
+            f"{self.current_raw_s * 1e3:.2f} ms raw"
+        )
+
+
+def compare_snapshots(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Tuple[List[Regression], List[str]]:
+    """Regressions plus human-readable notes (new/removed benchmarks).
+
+    Only benchmark names present in both snapshots are compared;
+    additions and removals are reported as notes, never failures.
+    """
+    base = baseline.get("results", {})
+    cur = current.get("results", {})
+    regressions: List[Regression] = []
+    notes: List[str] = []
+    for name in sorted(set(base) & set(cur)):
+        b = float(base[name]["normalized"])
+        c = float(cur[name]["normalized"])
+        b_raw = float(base[name]["raw_s"])
+        c_raw = float(cur[name]["raw_s"])
+        if c > b * (1.0 + threshold) and c_raw > b_raw * (1.0 + threshold):
+            regressions.append(Regression(name, b, c, b_raw, c_raw))
+    for name in sorted(set(cur) - set(base)):
+        notes.append(f"new benchmark (no baseline): {name}")
+    for name in sorted(set(base) - set(cur)):
+        notes.append(f"benchmark removed: {name}")
+    return regressions, notes

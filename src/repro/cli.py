@@ -5,9 +5,11 @@ Subcommands::
     repro-dtm run e1 e7 --quick      # rerun experiment tables (default)
     repro-dtm run all --seed 7
     repro-dtm run e1 --quick --trace-out e1.json   # record a trace
+    repro-dtm sweep e1 e3 --seeds 1 2 3 --workers 4 --quick  # parallel sweep
     repro-dtm trace summarize e1.json              # digest a saved trace
     repro-dtm trace export e1.json --csv e1.csv
     repro-dtm schedule --topology clique --size 32 --objects 16 --k 2
+    repro-dtm schedulers             # list schedulers, bounds, capabilities
     repro-dtm figures                # regenerate the paper's figures (ASCII)
     repro-dtm validate sched.json    # check a saved schedule end to end
     repro-dtm --list                 # list experiments
@@ -125,7 +127,7 @@ def _cmd_schedule(args) -> int:
     import numpy as np
 
     from .analysis.metrics import evaluate
-    from .core import get_scheduler, scheduler_for
+    from .core import resolve_scheduler
     from .viz import render_gantt
     from .workloads import hot_object_instance, random_k_subsets, zipf_k_subsets
 
@@ -137,10 +139,8 @@ def _cmd_schedule(args) -> int:
         "hot": hot_object_instance,
     }[args.workload]
     inst = gen(net, args.objects, args.k, rng)
-    sched_algo = (
-        scheduler_for(inst)
-        if args.scheduler == "auto"
-        else get_scheduler(args.scheduler)
+    sched_algo = resolve_scheduler(
+        args.scheduler, topology=net.topology.name, kernel=args.kernel
     )
     ev = evaluate(sched_algo, inst, rng)
     print(
@@ -253,6 +253,47 @@ def _list_experiments() -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments.sweep import run_sweep
+
+    targets = (
+        experiment_ids() if "all" in args.experiments else list(args.experiments)
+    )
+    t0 = time.perf_counter()
+    report = run_sweep(
+        targets,
+        seeds=args.seeds,
+        quick=args.quick,
+        workers=args.workers,
+    )
+    dt = time.perf_counter() - t0
+    for cell, prof in zip(report.cells, report.profiles):
+        rows = len(cell["table"]["rows"])
+        print(
+            f"{cell['experiment']:4s} seed={cell['seed']:<4d} "
+            f"rows={rows:<3d} wall={prof['wall_s']:.2f}s"
+        )
+    print(
+        f"[{len(report.cells)} cells, workers={report.workers}, "
+        f"{dt:.1f}s wall]"
+    )
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"sweep report written to {args.json}")
+    return 0
+
+
+def _cmd_schedulers(args) -> int:
+    from .core import SCHEDULER_INFO
+
+    for info in SCHEDULER_INFO.values():
+        topos = ",".join(info.topologies) or "-"
+        caps = ",".join(sorted(info.capabilities)) or "-"
+        print(f"{info.name:9s} topo={topos:38s} caps={caps}")
+        print(f"{'':9s} bound: {info.bound}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # convenience: bare experiment ids imply `run`
@@ -281,6 +322,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="also write the result tables as JSON")
     p_run.set_defaults(func=_cmd_run)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run experiments x seeds across worker processes"
+    )
+    p_sweep.add_argument("experiments", nargs="+", help="e1..e18 or 'all'")
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0],
+                         metavar="S", help="seeds to sweep (default: 0)")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default: 1; result is "
+                              "identical for any count)")
+    p_sweep.add_argument("--quick", action="store_true")
+    p_sweep.add_argument("--json", default=None, metavar="FILE",
+                         help="write the merged sweep report as JSON")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
     p_trace = sub.add_parser("trace", help="inspect a saved trace JSON")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_tsum = trace_sub.add_parser(
@@ -306,10 +361,19 @@ def main(argv: list[str] | None = None) -> int:
     p_sched.add_argument("--workload", default="random",
                          choices=["random", "zipf", "hot"])
     p_sched.add_argument("--scheduler", default="auto")
+    p_sched.add_argument("--kernel", default="auto",
+                         choices=["auto", "reference", "vectorized"],
+                         help="implementation switch for supporting "
+                              "schedulers")
     p_sched.add_argument("--seed", type=int, default=0)
     p_sched.add_argument("--save", default=None, help="write schedule JSON")
     p_sched.add_argument("--gantt", action="store_true")
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_list = sub.add_parser(
+        "schedulers", help="list the paper's schedulers and their bounds"
+    )
+    p_list.set_defaults(func=_cmd_schedulers)
 
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
     p_fig.add_argument("--seed", type=int, default=7)

@@ -8,7 +8,14 @@ scheduler per topology family of §3-§7.
 from .cluster import ClusterScheduler, object_cluster_spread
 from .coloring import greedy_color, validate_coloring
 from .dependency import DependencyGraph
-from .dispatch import schedule_instance, scheduler_for
+from .dispatch import (
+    SCHEDULER_INFO,
+    SchedulerInfo,
+    resolve_scheduler,
+    schedule_instance,
+    scheduler_for,
+)
+from .kernels import KERNELS, resolve_kernel
 from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
 from .grid import GridScheduler
 from .instance import Instance
@@ -39,6 +46,11 @@ __all__ = [
     "ClusterScheduler",
     "object_cluster_spread",
     "StarScheduler",
+    "SchedulerInfo",
+    "SCHEDULER_INFO",
+    "resolve_scheduler",
     "scheduler_for",
     "schedule_instance",
+    "KERNELS",
+    "resolve_kernel",
 ]

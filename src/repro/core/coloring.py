@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import SchedulingError
 from .dependency import DependencyGraph
+from .kernels import resolve_kernel
 
 __all__ = ["greedy_color", "validate_coloring", "order_vertices"]
 
@@ -47,15 +48,21 @@ def order_vertices(
 
 
 def greedy_color(
-    graph: DependencyGraph, order: Sequence[int] | None = None
+    graph: DependencyGraph,
+    order: Sequence[int] | None = None,
+    kernel: str = "auto",
 ) -> Dict[int, int]:
     """Colour ``graph`` with colours ``{j * h_max + 1 : j >= 0}``.
 
     Processes vertices in ``order`` (default: ascending tid); each vertex
     takes the smallest index ``j`` whose colour no coloured neighbour holds.
     The result satisfies ``color <= Gamma + 1`` (asserted) and the weighted
-    validity condition checked by :func:`validate_coloring`.
+    validity condition checked by :func:`validate_coloring`.  ``kernel``
+    selects the implementation (see :mod:`repro.core.kernels`); both
+    assign identical colours.
     """
+    if resolve_kernel(kernel) == "vectorized":
+        return _greedy_color_vectorized(graph, order)
     h_max = graph.h_max
     colors: Dict[int, int] = {}
     if order is None:
@@ -75,6 +82,53 @@ def greedy_color(
             )
         colors[tid] = j * h_max + 1
     return colors
+
+
+def _greedy_color_vectorized(
+    graph: DependencyGraph, order: Sequence[int] | None = None
+) -> Dict[int, int]:
+    """Array-state implementation of :func:`greedy_color`.
+
+    Works on the graph's CSR view with flat slot/neighbour arrays and a
+    per-vertex *bitmask* of occupied colour slots (one big-int OR per
+    neighbour, lowest-zero-bit extraction for the free slot) instead of
+    per-vertex Python dicts and sets.  Picks the same smallest-free slot
+    as the reference for any processing order, so outputs are identical.
+    """
+    tids, indptr, indices, _ = graph.csr()
+    m = len(tids)
+    if m == 0:
+        return {}
+    h_max = graph.h_max
+    if order is None:
+        order_pos = range(m)
+    else:
+        order_pos = np.searchsorted(
+            tids, np.asarray(order, dtype=np.int64)
+        ).tolist()
+    ptr = indptr.tolist()
+    nbrs = indices.tolist()
+    max_deg = int(np.diff(indptr).max()) if len(indices) else 0
+    bit = [1 << j for j in range(max_deg + 1)]  # slot -> bitmask, no allocs
+    slot = [0] * m  # occupied-slot bit or 0 while uncoloured
+    j_of = np.empty(m, dtype=np.int64)
+    for v in order_pos:
+        lo, hi = ptr[v], ptr[v + 1]
+        mask = 0
+        for u in nbrs[lo:hi]:
+            mask |= slot[u]
+        j = ((mask + 1) & ~mask).bit_length() - 1  # lowest zero bit
+        if j > hi - lo:  # pragma: no cover - pigeonhole guarantee
+            raise SchedulingError(
+                f"greedy colouring exceeded degree bound at tid {int(tids[v])}"
+            )
+        slot[v] = bit[j]
+        j_of[v] = j
+    color_of = (j_of * h_max + 1).tolist()
+    tid_list = tids.tolist()
+    if order is None:
+        return dict(zip(tid_list, color_of))
+    return {tid_list[v]: color_of[v] for v in order_pos}
 
 
 def validate_coloring(graph: DependencyGraph, colors: Dict[int, int]) -> None:

@@ -1,48 +1,234 @@
-"""Automatic scheduler selection from topology metadata.
+"""One-call scheduling facade and the scheduler capability registry.
 
-:func:`schedule_instance` is the library's one-call entry point: it reads
-the network's :class:`~repro.network.graph.Topology` tag, picks the
-paper's scheduler for that family, and returns a feasible schedule.
-Unknown/generic topologies fall back to the basic greedy schedule, whose
-``O(k * ell * d)`` guarantee (§3.1) holds on any graph.
+:func:`schedule` is the library's single entry point: it reads the
+network's :class:`~repro.network.graph.Topology` tag, picks the paper's
+scheduler for that family (or the one named by ``algo``), threads the
+``kernel`` switch to implementations that support it, and returns a
+feasible schedule.  Unknown/generic topologies fall back to the basic
+greedy schedule, whose ``O(k * ell * d)`` guarantee (§3.1) holds on any
+graph.
+
+:data:`SCHEDULER_INFO` mirrors the experiment registry's
+``EXPERIMENT_INFO``: one :class:`SchedulerInfo` per paper algorithm with
+its topology family, approximation bound, and capability flags, so the
+CLI and docs enumerate schedulers from one place instead of hard-coding
+the mapping.  The pre-facade entry points (:func:`scheduler_for`,
+:func:`schedule_instance`) remain as thin deprecation shims.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Mapping, Tuple
+
 import numpy as np
 
+from ..errors import SchedulingError
 from .cluster import ClusterScheduler
 from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
 from .grid import GridScheduler
 from .instance import Instance
+from .kernels import resolve_kernel
 from .line import LineScheduler
 from .schedule import Schedule
 from .scheduler import Scheduler
 from .star import StarScheduler
 
-__all__ = ["scheduler_for", "schedule_instance"]
+__all__ = [
+    "SchedulerInfo",
+    "SCHEDULER_INFO",
+    "schedule",
+    "resolve_scheduler",
+    "scheduler_for",
+    "schedule_instance",
+]
 
-_BY_TOPOLOGY = {
-    "clique": CliqueScheduler,
-    "hypercube": DiameterScheduler,
-    "butterfly": DiameterScheduler,
-    "ddim-grid": DiameterScheduler,
-    "torus": DiameterScheduler,
-    "line": LineScheduler,
-    "grid": GridScheduler,
-    "cluster": ClusterScheduler,
-    "star": StarScheduler,
+
+@dataclass(frozen=True)
+class SchedulerInfo:
+    """Static metadata describing one paper scheduler.
+
+    ``topologies`` lists the :class:`~repro.network.graph.Topology` family
+    names that auto-dispatch routes to this scheduler; ``bound`` is the
+    paper's approximation guarantee (human-readable, for listings);
+    ``capabilities`` flags optional constructor features -- ``"kernel"``
+    (accepts the reference/vectorized switch), ``"rng"`` (randomized),
+    ``"order"``/``"compact"`` (greedy-family tuning knobs).
+    """
+
+    name: str
+    topologies: Tuple[str, ...]
+    bound: str
+    capabilities: frozenset
+    factory: Callable[..., Scheduler]
+
+    def make(self, kernel: str = "auto", **options) -> Scheduler:
+        """Instantiate the scheduler, forwarding ``kernel`` if supported."""
+        if "kernel" in self.capabilities:
+            options.setdefault("kernel", kernel)
+        return self.factory(**options)
+
+
+SCHEDULER_INFO: Mapping[str, SchedulerInfo] = {
+    info.name: info
+    for info in (
+        SchedulerInfo(
+            "greedy",
+            (),
+            "Gamma + 1 = h_max * Delta + 1 colours (§2.3)",
+            frozenset({"kernel", "rng", "order", "compact"}),
+            GreedyScheduler,
+        ),
+        SchedulerInfo(
+            "clique",
+            ("clique",),
+            "O(k): k * ell + 1 (Thm 1)",
+            frozenset({"kernel", "rng", "order", "compact"}),
+            CliqueScheduler,
+        ),
+        SchedulerInfo(
+            "diameter",
+            ("hypercube", "butterfly", "ddim-grid", "torus"),
+            "O(k d): k * ell * d + 1 (§3.1)",
+            frozenset({"kernel", "rng", "order", "compact"}),
+            DiameterScheduler,
+        ),
+        SchedulerInfo(
+            "line",
+            ("line",),
+            "4 * ell (Thm 2)",
+            frozenset(),
+            LineScheduler,
+        ),
+        SchedulerInfo(
+            "grid",
+            ("grid",),
+            "O(k log m) w.h.p. (Thm 3)",
+            frozenset({"kernel"}),
+            GridScheduler,
+        ),
+        SchedulerInfo(
+            "cluster",
+            ("cluster",),
+            "O(min(k beta, 40^k ln^k m)) (Thm 4)",
+            frozenset({"kernel", "rng"}),
+            ClusterScheduler,
+        ),
+        SchedulerInfo(
+            "star",
+            ("star",),
+            "O(log beta * min(k beta, c^k ln^k m)) (Thm 5)",
+            frozenset({"kernel", "rng"}),
+            StarScheduler,
+        ),
+    )
+}
+
+_TOPOLOGY_TO_ALGO = {
+    topo: info.name
+    for info in SCHEDULER_INFO.values()
+    for topo in info.topologies
 }
 
 
+def resolve_scheduler(
+    algo: str = "auto",
+    *,
+    topology: str | None = None,
+    kernel: str = "auto",
+    **options,
+) -> Scheduler:
+    """Instantiate a scheduler by algorithm name or topology family.
+
+    ``algo="auto"`` picks the paper's scheduler for ``topology`` (falling
+    back to greedy for unknown families).  Any :data:`SCHEDULER_INFO`
+    name, or any name in the wider :func:`~repro.core.scheduler.register`
+    registry (baselines included), also works; ``kernel`` is forwarded
+    only to schedulers that declare the capability.
+    """
+    if algo == "auto":
+        info = SCHEDULER_INFO[_TOPOLOGY_TO_ALGO.get(topology, "greedy")]
+    elif algo in SCHEDULER_INFO:
+        info = SCHEDULER_INFO[algo]
+    else:
+        from .scheduler import get_scheduler
+
+        return get_scheduler(algo, **options)
+    return info.make(kernel=kernel, **options)
+
+
+def schedule(
+    instance: Instance,
+    network=None,
+    *,
+    algo: str = "auto",
+    kernel: str = "auto",
+    rng: np.random.Generator | None = None,
+    **options,
+) -> Schedule:
+    """Schedule ``instance`` with one call: ``repro.schedule(inst)``.
+
+    Parameters
+    ----------
+    instance:
+        The problem to schedule (its network determines auto-dispatch).
+    network:
+        Optional sanity handle: if given, it must be ``instance.network``
+        (instances are bound to their network at construction; rebuild
+        the instance to change topology).
+    algo:
+        ``"auto"`` (topology-appropriate paper scheduler, the default) or
+        an explicit scheduler name -- any :data:`SCHEDULER_INFO` entry or
+        registered baseline.
+    kernel:
+        ``"auto"``, ``"reference"``, or ``"vectorized"`` (see
+        :mod:`repro.core.kernels`); forwarded to schedulers that support
+        the switch.  Both kernels produce identical schedules.
+    rng:
+        Randomness source for randomized schedulers.
+    options:
+        Extra keyword arguments for the scheduler's constructor
+        (e.g. ``order="degree"`` for the greedy family).
+    """
+    if network is not None and network is not instance.network:
+        raise SchedulingError(
+            "schedule(): `network` must be the instance's own network; "
+            "rebuild the Instance to schedule on a different topology"
+        )
+    resolve_kernel(kernel)  # fail fast on typos, before any work
+    sched = resolve_scheduler(
+        algo,
+        topology=instance.network.topology.name,
+        kernel=kernel,
+        **options,
+    )
+    return sched.schedule(instance, rng)
+
+
+# ---------------------------------------------------------------------- #
+# pre-facade entry points (deprecated)
+# ---------------------------------------------------------------------- #
+
+
 def scheduler_for(instance: Instance) -> Scheduler:
-    """Instantiate the paper's scheduler for the instance's topology."""
-    factory = _BY_TOPOLOGY.get(instance.network.topology.name, GreedyScheduler)
-    return factory()
+    """Deprecated: use :func:`resolve_scheduler` (or :func:`schedule`)."""
+    warnings.warn(
+        "scheduler_for() is deprecated; use repro.schedule(instance) or "
+        "resolve_scheduler(topology=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_scheduler(topology=instance.network.topology.name)
 
 
 def schedule_instance(
     instance: Instance, rng: np.random.Generator | None = None
 ) -> Schedule:
-    """Schedule ``instance`` with the topology-appropriate algorithm."""
-    return scheduler_for(instance).schedule(instance, rng)
+    """Deprecated: use :func:`schedule`."""
+    warnings.warn(
+        "schedule_instance() is deprecated; use repro.schedule(instance)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return schedule(instance, rng=rng)

@@ -62,18 +62,29 @@ class GreedyScheduler(Scheduler):
         coloured schedule: keeps the colouring's commit order (and hence
         the theorem bound, which can only improve) while shifting every
         commit to the earliest step its objects can actually arrive.
+    kernel:
+        Implementation switch for the dependency build and colouring
+        passes (``"reference"``, ``"vectorized"``, or ``"auto"``; see
+        :mod:`repro.core.kernels`).  Both kernels produce identical
+        schedules.
     """
 
-    def __init__(self, order: str = "id", compact: bool = False) -> None:
+    def __init__(
+        self,
+        order: str = "id",
+        compact: bool = False,
+        kernel: str = "auto",
+    ) -> None:
         self.order = order
         self.compact = compact
+        self.kernel = kernel
 
     def schedule(
         self, instance: Instance, rng: np.random.Generator | None = None
     ) -> Schedule:
-        graph = DependencyGraph.build(instance)
+        graph = DependencyGraph.build(instance, kernel=self.kernel)
         order = order_vertices(graph, self.order, rng)
-        colors = greedy_color(graph, order)
+        colors = greedy_color(graph, order, kernel=self.kernel)
         offset = positioning_offset(instance, colors)
         commits = {tid: c + offset for tid, c in colors.items()}
         meta = {

@@ -1,0 +1,52 @@
+"""Kernel selection: one switch between reference and vectorized hot paths.
+
+Every performance-critical primitive in the library -- conflict-graph
+construction (:meth:`~repro.core.dependency.DependencyGraph.build`),
+greedy colouring (:func:`~repro.core.coloring.greedy_color`), and the
+simulator's itinerary replay (:func:`~repro.sim.engine.execute`) -- ships
+two implementations:
+
+* ``"reference"`` -- the original per-edge pure-Python code, kept forever
+  as the readable oracle the paper's pseudocode maps onto;
+* ``"vectorized"`` -- numpy array kernels (inverted object index, batched
+  distance gathers from the cached distance matrix, array colour state)
+  that produce *field-by-field identical* results, asserted by the
+  property tests in ``tests/test_kernels.py``.
+
+``"auto"`` (the default everywhere) resolves to the vectorized kernels;
+the environment variable ``REPRO_KERNEL`` overrides the auto choice,
+which lets a whole test run or experiment sweep be pinned to either
+implementation without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import SchedulingError
+
+__all__ = ["KERNELS", "DEFAULT_KERNEL", "resolve_kernel"]
+
+#: the recognized kernel implementations
+KERNELS = ("reference", "vectorized")
+
+#: what ``"auto"`` resolves to when ``REPRO_KERNEL`` is unset
+DEFAULT_KERNEL = "vectorized"
+
+
+def resolve_kernel(kernel: str | None = "auto") -> str:
+    """Resolve a ``kernel`` argument to a concrete implementation name.
+
+    ``None`` and ``"auto"`` follow ``REPRO_KERNEL`` when it names a valid
+    kernel, else :data:`DEFAULT_KERNEL`.  Any other value must be one of
+    :data:`KERNELS`; unknown names raise :class:`SchedulingError` so a
+    typo fails loudly instead of silently running the slow path.
+    """
+    if kernel is None or kernel == "auto":
+        env = os.environ.get("REPRO_KERNEL", "").strip().lower()
+        return env if env in KERNELS else DEFAULT_KERNEL
+    if kernel not in KERNELS:
+        raise SchedulingError(
+            f"unknown kernel {kernel!r}; choose from {('auto',) + KERNELS}"
+        )
+    return kernel

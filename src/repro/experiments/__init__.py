@@ -1,5 +1,13 @@
 """The experiment suite: one module per theorem/figure (see DESIGN.md §3)."""
 
 from .registry import EXPERIMENTS, TITLES, experiment_ids, run_experiment
+from .sweep import SweepReport, run_sweep
 
-__all__ = ["EXPERIMENTS", "TITLES", "experiment_ids", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "TITLES",
+    "experiment_ids",
+    "run_experiment",
+    "SweepReport",
+    "run_sweep",
+]

@@ -134,7 +134,7 @@ def run(
     )
 
     # (d) compaction: how much of the colouring's spacing is slack
-    from ..core.dispatch import scheduler_for
+    from ..core.dispatch import schedule as schedule_auto
     from ..core.retime import compact_schedule
     from ..network.topologies import clique as _clique, star as _star
 
@@ -143,7 +143,7 @@ def run(
         for trial in range(trials):
             rng = spawn(seed, EXP_ID, "compact", net.topology.name, trial)
             inst = random_k_subsets(net, max(4, net.n // 4), 2, rng)
-            s = scheduler_for(inst).schedule(inst, rng)
+            s = schedule_auto(inst, rng=rng)
             plain_mks.append(s.makespan)
             compact_mks.append(compact_schedule(s).makespan)
         plain = summarize(plain_mks).mean

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..analysis.stats import summarize
 from ..analysis.tables import Table
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import schedule as schedule_auto
 from ..network.topologies import clique, cluster, grid, hypercube, line, star
 from ..sim.capacity import capacity_execute
 from ..sim.congestion import congestion_report, serialized_edge_makespan
@@ -59,7 +59,7 @@ def run(
         for trial in range(trials):
             rng = spawn(seed, EXP_ID, net.topology.name, trial)
             inst = random_k_subsets(net, w, 2, rng)
-            sched = scheduler_for(inst).schedule(inst, rng)
+            sched = schedule_auto(inst, rng=rng)
             sched.validate()
             rep = congestion_report(sched, recorder=recorder)
             mks.append(rep.makespan)

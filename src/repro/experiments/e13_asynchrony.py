@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..analysis.stats import summarize
 from ..analysis.tables import Table
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import schedule as schedule_auto
 from ..network.topologies import clique, grid, line
 from ..sim.asynchrony import asynchronous_execute
 from ..workloads.generators import random_k_subsets
@@ -49,7 +49,7 @@ def run(
             for trial in range(trials):
                 rng = spawn(seed, EXP_ID, net.topology.name, phi, trial)
                 inst = random_k_subsets(net, w, 2, rng)
-                sched = scheduler_for(inst).schedule(inst, rng)
+                sched = schedule_auto(inst, rng=rng)
                 sched.validate()
                 # the phi = 1 replay is the as-soon-as-possible baseline:
                 # it strips the schedule's slack, isolating the jitter

@@ -16,7 +16,7 @@ from __future__ import annotations
 from ..analysis.stats import summarize
 from ..analysis.tables import Table
 from ..controlflow import ControlFlowScheduler
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import schedule as schedule_auto
 from ..core.retime import compact_schedule
 from ..network.topologies import clique, cluster, grid
 from ..workloads.generators import random_k_subsets, zipf_k_subsets
@@ -57,7 +57,7 @@ def run(
             for trial in range(trials):
                 rng = spawn(seed, EXP_ID, net.topology.name, k, workload, trial)
                 inst = gens[workload](net, w, k, rng)
-                df = compact_schedule(scheduler_for(inst).schedule(inst, rng))
+                df = compact_schedule(schedule_auto(inst, rng=rng))
                 df.validate()
                 cells.setdefault("data_flow", []).append(df.makespan)
                 for mode in ("rpc", "migration", "hybrid"):

@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..analysis.stats import summarize
 from ..analysis.tables import Table
 from ..bounds.lower import makespan_lower_bound
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import schedule as schedule_auto
 from ..core.instance import Instance
 from ..core.retime import compact_schedule
 from ..network.topologies import clique, grid, line
@@ -65,7 +65,7 @@ def run(
             for name, transform in policies.items():
                 inst = transform(base)
                 s = compact_schedule(
-                    scheduler_for(inst).schedule(inst, rng)
+                    schedule_auto(inst, rng=rng)
                 )
                 s.validate()
                 lb = makespan_lower_bound(inst)

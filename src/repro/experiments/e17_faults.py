@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ..analysis.stats import summarize
 from ..analysis.tables import Table
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import schedule as schedule_auto
 from ..faults import degradation_report, faulty_execute, random_fault_plan
 from ..network.topologies import grid, line
 from ..workloads.generators import random_k_subsets
@@ -58,7 +58,7 @@ def run(
             for trial in range(trials):
                 rng = spawn(seed, EXP_ID, net.topology.name, intensity, trial)
                 inst = random_k_subsets(net, w, 2, rng)
-                sched = scheduler_for(inst).schedule(inst, rng)
+                sched = schedule_auto(inst, rng=rng)
                 sched.validate()
                 plan = random_fault_plan(
                     net,

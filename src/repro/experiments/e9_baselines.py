@@ -18,7 +18,7 @@ from ..baselines.list_scheduler import (
 )
 from ..bounds.lower import makespan_lower_bound, object_report
 from ..analysis.metrics import evaluate
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import resolve_scheduler
 from ..network.topologies import (
     butterfly,
     clique,
@@ -79,10 +79,11 @@ def run(
             inst = random_k_subsets(net, w, k, rng)
             lb = makespan_lower_bound(inst, object_report(inst))
             lb_sum += lb
-            paper = scheduler_for(inst)
+            topo_name = net.topology.name
+            paper = resolve_scheduler(topology=topo_name)
             contenders = [
                 ("paper:" + paper.name, paper),
-                ("paper+compact", Compacted(scheduler_for(inst))),
+                ("paper+compact", Compacted(resolve_scheduler(topology=topo_name))),
                 ("sequential", SequentialScheduler()),
                 ("random-order", RandomOrderScheduler()),
                 ("tsp-order", TSPOrderScheduler()),

@@ -5,9 +5,11 @@ machinery (:func:`repro.sim.reroute.detour_candidates` -- the shortest path
 plus via-an-intermediate-node alternatives) and returns the first candidate
 touching no down link; when every candidate is blocked it falls back to a
 full Dijkstra on the masked adjacency, which is complete: it finds a route
-iff one exists in the degraded graph.  :func:`degraded_network` rebuilds a
-:class:`~repro.network.graph.Network` without a set of edges -- the
-substrate recovery rescheduling plans against after permanent failures.
+iff one exists in the degraded graph.  :func:`degraded_network` returns a
+lazy :class:`~repro.network.masked.MaskedNetwork` view without the failed
+edges -- the substrate recovery rescheduling plans against after permanent
+failures, reusing the healthy network's cached distance rows instead of
+recomputing the all-pairs matrix from scratch.
 """
 
 from __future__ import annotations
@@ -15,11 +17,11 @@ from __future__ import annotations
 from typing import FrozenSet, List, Optional, Tuple
 
 import numpy as np
-from scipy.sparse import csr_array
 from scipy.sparse.csgraph import dijkstra
 
 from ..errors import GraphError, RecoveryError
 from ..network.graph import Network
+from ..network.masked import masked_csr
 from ..sim.reroute import detour_candidates
 
 __all__ = ["path_avoiding", "degraded_network"]
@@ -39,18 +41,11 @@ def _masked_path(
     net: Network, src: int, dst: int, down: FrozenSet[Edge]
 ) -> Optional[List[int]]:
     """Shortest path in ``net`` minus ``down``, or None if disconnected."""
-    rows, cols, data = [], [], []
-    for u, v, w in net.edges():
-        if (u, v) in down:
-            continue
-        rows += [u, v]
-        cols += [v, u]
-        data += [w, w]
-    csr = csr_array(
-        (np.asarray(data, dtype=np.int64), (rows, cols)), shape=(net.n, net.n)
-    )
     dist, pred = dijkstra(
-        csr, directed=False, indices=src, return_predecessors=True
+        masked_csr(net, down),
+        directed=False,
+        indices=src,
+        return_predecessors=True,
     )
     if not np.isfinite(dist[dst]):
         return None
@@ -88,18 +83,19 @@ def path_avoiding(
 
 
 def degraded_network(net: Network, down: FrozenSet[Edge]) -> Network:
-    """``net`` with the ``down`` edges removed.
+    """``net`` with the ``down`` edges removed, as a lazy masked view.
 
     Used by recovery rescheduling to plan the surviving suffix against the
-    links that will actually exist.  Raises :class:`RecoveryError` when the
-    removal disconnects the graph -- no recovery schedule can span a
-    partition.
+    links that will actually exist.  The view shares the healthy network's
+    cached distance rows for every source the failures don't affect (see
+    :class:`~repro.network.masked.MaskedNetwork`).  Raises
+    :class:`RecoveryError` when the removal disconnects the graph -- no
+    recovery schedule can span a partition.
     """
     if not down:
         return net
-    kept = [(u, v, w) for u, v, w in net.edges() if (u, v) not in down]
     try:
-        return Network(net.n, kept, topology=net.topology)
+        return net.masked(down)
     except GraphError as exc:
         raise RecoveryError(
             f"removing {sorted(down)} disconnects the network: {exc}"

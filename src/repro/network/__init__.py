@@ -1,6 +1,7 @@
 """Network substrate: weighted graphs and specialized topology builders."""
 
 from .graph import Network, Topology
+from .masked import MaskedNetwork, masked_csr
 from .topologies import (
     butterfly,
     clique,
@@ -19,6 +20,8 @@ from .topologies import (
 
 __all__ = [
     "Network",
+    "MaskedNetwork",
+    "masked_csr",
     "Topology",
     "clique",
     "line",

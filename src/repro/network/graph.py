@@ -211,6 +211,15 @@ class Network:
         """Shortest-path distance between ``u`` and ``v``."""
         return int(self._ensure_dist()[u, v])
 
+    def pair_distances(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched distance gather: ``result[i] = dist(us[i], vs[i])``.
+
+        The vectorized kernels call this instead of per-pair :meth:`dist`;
+        subclasses with partial distance caches override it to compute
+        only the rows the gather actually touches.
+        """
+        return self._ensure_dist()[us, vs]
+
     def shortest_path(self, u: int, v: int) -> list[int]:
         """A shortest path from ``u`` to ``v`` as a list of nodes (inclusive)."""
         if u == v:
@@ -241,6 +250,27 @@ class Network:
             return 0
         sub = self._ensure_dist()[np.ix_(idx, idx)]
         return int(sub.max())
+
+    # ------------------------------------------------------------------ #
+    # degraded views
+    # ------------------------------------------------------------------ #
+
+    def masked(self, down: Iterable[tuple[int, int]]) -> "Network":
+        """This network with the ``down`` edges removed, resolved lazily.
+
+        Returns ``self`` when ``down`` is empty; otherwise a
+        :class:`~repro.network.masked.MaskedNetwork` view that reuses this
+        network's cached distance rows wherever the removed edges lie on
+        no shortest path, and recomputes only the affected sources.
+        Raises :class:`GraphError` if the removal disconnects the graph
+        or names a non-existent edge.
+        """
+        from .masked import MaskedNetwork
+
+        down = frozenset((u, v) if u < v else (v, u) for u, v in down)
+        if not down:
+            return self
+        return MaskedNetwork(self, down)
 
     # ------------------------------------------------------------------ #
     # interop

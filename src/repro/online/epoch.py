@@ -15,7 +15,7 @@ from typing import Dict
 
 import numpy as np
 
-from ..core.dispatch import scheduler_for
+from ..core.dispatch import resolve_scheduler
 from ..core.phasing import PhaseState, run_phase
 from ..core.scheduler import Scheduler
 from .arrivals import OnlineWorkload
@@ -41,7 +41,7 @@ def run_epoch_batched(
     """
     inst = workload.instance
     if scheduler is None:
-        scheduler = scheduler_for(inst)
+        scheduler = resolve_scheduler(topology=inst.network.topology.name)
     if epoch is None:
         epoch = inst.network.diameter() + 1
 

@@ -181,3 +181,41 @@ class TestReport:
         text = out.read_text()
         assert "Theorem 6" in text
         assert text.count("###") >= 8  # 6 figures + 2 tables
+
+
+class TestSweepCommand:
+    def test_sweep_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments.sweep import SweepReport
+
+        out = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "e3", "--seeds", "1", "2",
+            "--workers", "2", "--quick", "--json", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "2 cells" in printed and "workers=2" in printed
+        report = SweepReport.from_json(out.read_text())
+        assert report.seeds == (1, 2) and report.workers == 2
+
+
+class TestSchedulersCommand:
+    def test_lists_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["schedulers"]) == 0
+        printed = capsys.readouterr().out
+        for name in ("greedy", "clique", "line", "grid", "cluster", "star"):
+            assert name in printed
+        assert "bound:" in printed
+
+
+class TestScheduleKernelFlag:
+    def test_kernel_choices_agree(self, capsys):
+        from repro.cli import main
+
+        for kernel in ("reference", "vectorized"):
+            assert main([
+                "schedule", "--topology", "clique", "--size", "8",
+                "--objects", "6", "--k", "2", "--kernel", kernel,
+            ]) == 0

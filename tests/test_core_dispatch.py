@@ -82,3 +82,118 @@ class TestRegistry:
     def test_unknown_name_raises(self):
         with pytest.raises(SchedulingError, match="unknown scheduler"):
             get_scheduler("does-not-exist")
+
+
+class TestScheduleFacade:
+    """repro.schedule(): the one entry point wrapping the registry."""
+
+    @pytest.mark.parametrize(
+        "net,cls", CASES, ids=[n.topology.name for n, _ in CASES]
+    )
+    def test_auto_algo_end_to_end(self, net, cls):
+        import repro
+
+        rng = np.random.default_rng(3)
+        inst = random_k_subsets(net, w=max(2, net.n // 2), k=2, rng=rng)
+        sched = repro.schedule(inst, rng=rng)
+        sched.validate()
+
+    def test_explicit_algo_overrides_topology(self):
+        import repro
+        from repro.core.dispatch import resolve_scheduler
+
+        net = grid(4)
+        rng = np.random.default_rng(4)
+        inst = random_k_subsets(net, w=8, k=2, rng=rng)
+        sched = repro.schedule(inst, algo="greedy", rng=rng)
+        sched.validate()
+        assert isinstance(
+            resolve_scheduler("greedy", topology="grid"), GreedyScheduler
+        )
+
+    def test_baseline_algos_fall_through_to_registry(self):
+        import repro
+
+        net = line(6)
+        rng = np.random.default_rng(5)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        repro.schedule(inst, algo="sequential", rng=rng).validate()
+
+    def test_kernel_typo_fails_fast(self):
+        import repro
+
+        net = clique(4)
+        rng = np.random.default_rng(6)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        with pytest.raises(SchedulingError, match="kernel"):
+            repro.schedule(inst, kernel="simd")
+
+    def test_foreign_network_rejected(self):
+        import repro
+
+        rng = np.random.default_rng(7)
+        inst = random_k_subsets(clique(4), w=4, k=2, rng=rng)
+        with pytest.raises(SchedulingError, match="instance's own network"):
+            repro.schedule(inst, network=clique(5))
+
+    def test_own_network_accepted(self):
+        import repro
+
+        rng = np.random.default_rng(8)
+        inst = random_k_subsets(clique(4), w=4, k=2, rng=rng)
+        repro.schedule(inst, network=inst.network, rng=rng).validate()
+
+    def test_reference_and_vectorized_agree_through_facade(self):
+        import repro
+
+        net = grid(4)
+        rng = np.random.default_rng(9)
+        inst = random_k_subsets(net, w=8, k=2, rng=rng)
+        ref = repro.schedule(inst, kernel="reference")
+        vec = repro.schedule(inst, kernel="vectorized")
+        assert ref.commit_times == vec.commit_times
+
+
+class TestSchedulerInfo:
+    def test_registry_mirrors_topologies(self):
+        from repro.core import SCHEDULER_INFO
+
+        covered = {t for info in SCHEDULER_INFO.values()
+                   for t in info.topologies}
+        for name in ("clique", "line", "grid", "cluster", "hypercube",
+                     "butterfly", "star", "ddim-grid", "torus"):
+            assert name in covered
+
+    def test_every_entry_has_a_bound_and_factory(self):
+        from repro.core import SCHEDULER_INFO
+
+        for name, info in SCHEDULER_INFO.items():
+            assert info.name == name
+            assert info.bound
+            sched = info.make()
+            assert hasattr(sched, "schedule")
+
+    def test_kernel_forwarded_only_when_supported(self):
+        from repro.core import SCHEDULER_INFO
+
+        greedy = SCHEDULER_INFO["greedy"].make(kernel="reference")
+        assert greedy.kernel == "reference"
+        # LineScheduler has no kernel parameter; make() must not pass one
+        SCHEDULER_INFO["line"].make(kernel="reference")
+
+
+class TestDeprecationShims:
+    def test_scheduler_for_warns_and_delegates(self):
+        net = line(8)
+        rng = np.random.default_rng(10)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        with pytest.warns(DeprecationWarning, match="resolve_scheduler"):
+            sched = scheduler_for(inst)
+        assert isinstance(sched, LineScheduler)
+
+    def test_schedule_instance_warns_and_delegates(self):
+        net = clique(5)
+        rng = np.random.default_rng(11)
+        inst = random_k_subsets(net, w=4, k=2, rng=rng)
+        with pytest.warns(DeprecationWarning, match="repro.schedule"):
+            schedule_instance(inst, rng).validate()

@@ -1,0 +1,155 @@
+"""Reference-vs-vectorized kernel parity, field by field.
+
+The vectorized kernels are only allowed to be faster, never different:
+for every topology and seed, the dependency graph, the colouring, the
+schedule, and the executed trace must match the reference kernel
+exactly.  Hypothesis drives the workloads; the fixed-topology
+parametrization covers every builder at least once even under the CI
+profile's reduced example count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import greedy_color, validate_coloring
+from repro.core.dependency import ArrayDependencyGraph, DependencyGraph
+from repro.core.greedy import GreedyScheduler
+from repro.core.kernels import KERNELS, resolve_kernel
+from repro.errors import SchedulingError
+from repro.network import (
+    butterfly,
+    clique,
+    cluster,
+    grid,
+    hypercube,
+    line,
+    star,
+)
+from repro.sim import execute
+from repro.workloads import random_k_subsets
+
+TOPOLOGIES = {
+    "clique": lambda: clique(8),
+    "line": lambda: line(12),
+    "grid": lambda: grid(5),
+    "cluster": lambda: cluster(3, 4),
+    "hypercube": lambda: hypercube(3),
+    "butterfly": lambda: butterfly(2),
+    "star": lambda: star(3, 4),
+}
+
+
+def _instance(topo: str, seed: int, w: int, k: int):
+    net = TOPOLOGIES[topo]()
+    rng = np.random.default_rng(seed)
+    return random_k_subsets(net, w=w, k=min(k, w), rng=rng)
+
+
+def _graph_edges(graph: DependencyGraph):
+    return {
+        (tid, other): weight
+        for tid in graph.vertices()
+        for other, weight in graph.neighbors(tid).items()
+    }
+
+
+def _trace_fields(trace):
+    return (
+        trace.makespan,
+        trace.total_distance,
+        trace.object_distance,
+        trace.edge_traffic,
+        trace.max_in_flight,
+        trace.commits,
+        trace.idle_object_time,
+    )
+
+
+topo_seeds = given(
+    topo=st.sampled_from(sorted(TOPOLOGIES)),
+    seed=st.integers(0, 2**32 - 1),
+    w=st.integers(2, 24),
+    k=st.integers(1, 4),
+)
+
+
+class TestDependencyParity:
+    @settings(deadline=None)
+    @topo_seeds
+    def test_build_identical(self, topo, seed, w, k):
+        inst = _instance(topo, seed, w, k)
+        ref = DependencyGraph.build(inst, kernel="reference")
+        vec = DependencyGraph.build(inst, kernel="vectorized")
+        assert isinstance(vec, ArrayDependencyGraph)
+        assert ref.num_vertices == vec.num_vertices
+        assert sorted(ref.vertices()) == sorted(vec.vertices())
+        assert _graph_edges(ref) == _graph_edges(vec)
+
+
+class TestColoringParity:
+    @settings(deadline=None)
+    @topo_seeds
+    def test_colors_identical(self, topo, seed, w, k):
+        inst = _instance(topo, seed, w, k)
+        ref_graph = DependencyGraph.build(inst, kernel="reference")
+        vec_graph = DependencyGraph.build(inst, kernel="vectorized")
+        ref = greedy_color(ref_graph, kernel="reference")
+        vec = greedy_color(vec_graph, kernel="vectorized")
+        assert ref == vec
+        validate_coloring(vec_graph, vec)
+
+
+class TestScheduleParity:
+    @settings(deadline=None)
+    @topo_seeds
+    def test_schedules_identical(self, topo, seed, w, k):
+        inst = _instance(topo, seed, w, k)
+        ref = GreedyScheduler(kernel="reference").schedule(inst)
+        vec = GreedyScheduler(kernel="vectorized").schedule(inst)
+        assert ref.commit_times == vec.commit_times
+        assert ref.makespan == vec.makespan
+
+
+class TestExecuteParity:
+    @settings(deadline=None)
+    @topo_seeds
+    def test_traces_identical(self, topo, seed, w, k):
+        inst = _instance(topo, seed, w, k)
+        sched = GreedyScheduler(kernel="vectorized").schedule(inst)
+        ref = execute(sched, kernel="reference")
+        sched._itineraries = None  # fresh routing pass for the second run
+        vec = execute(sched, kernel="vectorized")
+        assert _trace_fields(ref) == _trace_fields(vec)
+
+    @pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+    def test_traces_identical_every_topology(self, topo):
+        inst = _instance(topo, seed=7, w=12, k=3)
+        sched = GreedyScheduler(kernel="vectorized").schedule(inst)
+        ref = execute(sched, kernel="reference")
+        sched._itineraries = None
+        vec = execute(sched, kernel="vectorized")
+        assert _trace_fields(ref) == _trace_fields(vec)
+
+
+class TestKernelSwitch:
+    def test_known_kernels(self):
+        assert set(KERNELS) == {"reference", "vectorized"}
+        for k in KERNELS:
+            assert resolve_kernel(k) == k
+
+    def test_auto_resolves_to_a_known_kernel(self):
+        assert resolve_kernel("auto") in KERNELS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        assert resolve_kernel("auto") == "reference"
+        monkeypatch.setenv("REPRO_KERNEL", "vectorized")
+        assert resolve_kernel("auto") == "vectorized"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SchedulingError):
+            resolve_kernel("simd")
