@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci bench bench-snapshot bench-check experiments figures quick-experiments trace-demo clean
+.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# static gate: the stdlib AST lint always runs; ruff and mypy run when
+# installed (CI installs both; local trees without them still get the
+# determinism lint and skip the rest)
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then ruff check src/repro; \
+	else echo "ruff not installed; skipping"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+	mypy --strict src/repro/errors.py src/repro/faults/report.py \
+	src/repro/online/report.py src/repro/staticcheck; \
+	else echo "mypy not installed; skipping"; fi
 
 # the tier-1 gate run by .github/workflows/ci.yml: fail fast, no
 # install step needed (PYTHONPATH picks up the source tree directly)

@@ -37,6 +37,7 @@ from . import (
     online,
     replication,
     sim,
+    staticcheck,
     viz,
     workloads,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "online",
     "replication",
     "sim",
+    "staticcheck",
     "viz",
     "workloads",
     "ReproError",

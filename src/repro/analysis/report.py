@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Protocol, runtime_checkable
+from typing import Any, Callable, Dict, Protocol, TypeVar, runtime_checkable
 
 from ..errors import ReproError
 
@@ -42,23 +42,27 @@ REPORT_SCHEMA_VERSION = 1
 #: kind -> report class; populated by :func:`register_report`.
 REPORT_KINDS: Dict[str, type] = {}
 
+_ReportClass = TypeVar("_ReportClass", bound=type)
 
-def register_report(kind: str):
+
+def register_report(kind: str) -> Callable[[_ReportClass], _ReportClass]:
     """Class decorator: register a report dataclass under ``kind``.
 
     The kind is the wire name used in JSON envelopes; it must be unique
     across the package (a duplicate registration is a programming error
-    and raises immediately).
+    and raises immediately).  The decorated class gains a ``report_kind``
+    class attribute; declare it ``ClassVar[str]`` on the dataclass so
+    type checkers see it.
     """
 
-    def decorate(cls: type) -> type:
+    def decorate(cls: _ReportClass) -> _ReportClass:
         existing = REPORT_KINDS.get(kind)
         if existing is not None and existing is not cls:
             raise ReproError(
                 f"report kind {kind!r} already registered to "
                 f"{existing.__name__}"
             )
-        cls.report_kind = kind
+        setattr(cls, "report_kind", kind)
         REPORT_KINDS[kind] = cls
         return cls
 
@@ -73,7 +77,7 @@ class Report(Protocol):
     ``from_json`` round-trip the *complete* field set losslessly.
     """
 
-    def as_dict(self) -> dict: ...
+    def as_dict(self) -> dict[str, object]: ...
 
     def to_json(self) -> str: ...
 
@@ -102,7 +106,7 @@ def report_to_json(report: Any) -> str:
     return json.dumps(envelope, indent=2, sort_keys=True)
 
 
-def report_payload(text: str, expected_kind: str | None = None) -> dict:
+def report_payload(text: str, expected_kind: str | None = None) -> Dict[str, Any]:
     """Parse an envelope, validate it, and return the payload dict.
 
     Raises :class:`ReproError` on a malformed envelope, an unsupported

@@ -12,6 +12,8 @@ Subcommands::
     repro-dtm schedulers             # list schedulers, bounds, capabilities
     repro-dtm figures                # regenerate the paper's figures (ASCII)
     repro-dtm validate sched.json    # check a saved schedule end to end
+    repro-dtm lint src/repro         # static determinism/invariant lint
+    repro-dtm lint --rules           # print the rule catalogue
     repro-dtm --list                 # list experiments
 
 ``run``/``validate`` accept ``--json FILE`` to additionally write their
@@ -152,14 +154,25 @@ def _cmd_schedule(args) -> int:
         f"lower_bound={ev.lower_bound} ratio<={ev.ratio:.3f} "
         f"comm_cost={ev.communication_cost}"
     )
+    schedule = None
+    if args.save or args.gantt or args.certify:
+        schedule = sched_algo.schedule(inst, np.random.default_rng(args.seed))
     if args.save:
         from .io import save_schedule
 
-        schedule = sched_algo.schedule(inst, np.random.default_rng(args.seed))
         save_schedule(schedule, args.save)
         print(f"schedule written to {args.save}")
+    if args.certify:
+        from .staticcheck import certify_schedule
+
+        cert = certify_schedule(schedule, strict=False)
+        print(cert.render())
+        if args.certificate:
+            from .io import save_certificate
+
+            save_certificate(cert, args.certificate)
+            print(f"certificate written to {args.certificate}")
     if args.gantt:
-        schedule = sched_algo.schedule(inst, np.random.default_rng(args.seed))
         print(render_gantt(schedule))
     return 0
 
@@ -195,6 +208,8 @@ def _cmd_validate(args) -> int:
     from .io import load_fault_plan, load_schedule
     from .sim import execute
 
+    from .staticcheck import certify_schedule
+
     schedule = load_schedule(args.path)
     schedule.validate()
     trace = execute(schedule)
@@ -204,6 +219,8 @@ def _cmd_validate(args) -> int:
         f"{schedule.makespan} (lower bound {lb}), communication "
         f"{trace.total_distance}, peak in-flight {trace.max_in_flight}"
     )
+    cert = certify_schedule(schedule, strict=False)
+    print(cert.render())
     result = {
         "path": str(args.path),
         "valid": True,
@@ -212,7 +229,13 @@ def _cmd_validate(args) -> int:
         "lower_bound": lb,
         "communication": trace.total_distance,
         "max_in_flight": trace.max_in_flight,
+        "certificate": cert.as_dict(),
     }
+    if args.certificate:
+        from .io import save_certificate
+
+        save_certificate(cert, args.certificate)
+        print(f"certificate written to {args.certificate}")
     if args.plan:
         from .faults import degradation_report, faulty_execute
 
@@ -229,6 +252,40 @@ def _cmd_validate(args) -> int:
         write_json(args.json, "validation", result)
         print(f"validation written to {args.json}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .staticcheck import rule_catalog, run_lint, run_typing_gate
+
+    if args.rules:
+        for entry in rule_catalog():
+            print(
+                f"{entry['rule']:8s} [{entry['severity']:7s}] "
+                f"{entry['title']} (scope: {entry['scope']})"
+            )
+            print(f"{'':8s} fix: {entry['fix_hint']}")
+        return 0
+    paths = args.paths or [str(Path(__file__).parent)]
+    select = args.select.split(",") if args.select else None
+    report = run_lint(paths, select=select)
+    gate_steps = run_typing_gate() if args.gate else []
+    if args.json:
+        from .io import dumps_canonical, json_payload, write_json
+
+        body = report.as_dict()
+        if gate_steps:
+            body["gate"] = [step.as_dict() for step in gate_steps]
+        if args.json == "-":
+            print(dumps_canonical(json_payload("lint", body)))
+        else:
+            write_json(args.json, "lint", body)
+            print(f"lint report written to {args.json}")
+    if args.json != "-":
+        print(report.render())
+        for step in gate_steps:
+            print(step.render())
+    gate_ok = all(step.ok for step in gate_steps)
+    return 0 if (report.ok and gate_ok) else 1
 
 
 def _cmd_report(args) -> int:
@@ -367,8 +424,33 @@ def main(argv: list[str] | None = None) -> int:
                               "schedulers")
     p_sched.add_argument("--seed", type=int, default=0)
     p_sched.add_argument("--save", default=None, help="write schedule JSON")
+    p_sched.add_argument("--certify", action="store_true",
+                         help="statically certify the schedule and print "
+                              "the signed certificate")
+    p_sched.add_argument("--certificate", default=None, metavar="FILE",
+                         help="with --certify, also write the certificate "
+                              "JSON envelope")
     p_sched.add_argument("--gantt", action="store_true")
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_lint = sub.add_parser(
+        "lint", help="static determinism/invariant lint over source trees"
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--select", default=None, metavar="RULE,...",
+                        help="comma-separated rule ids to run "
+                             "(default: all rules)")
+    p_lint.add_argument("--json", default=None, metavar="FILE",
+                        help="write the findings as an enveloped JSON "
+                             "document ('-' for stdout)")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.add_argument("--gate", action="store_true",
+                        help="additionally run ruff and mypy --strict "
+                             "when installed")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_list = sub.add_parser(
         "schedulers", help="list the paper's schedulers and their bounds"
@@ -386,6 +468,8 @@ def main(argv: list[str] | None = None) -> int:
                             "against the schedule")
     p_val.add_argument("--json", default=None, metavar="FILE",
                        help="also write the validation verdict as JSON")
+    p_val.add_argument("--certificate", default=None, metavar="FILE",
+                       help="also write the signed static certificate")
     p_val.set_defaults(func=_cmd_validate)
 
     p_rep = sub.add_parser(

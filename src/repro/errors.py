@@ -7,6 +7,22 @@ programming errors (``TypeError`` etc.) propagate normally.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InstanceError",
+    "InfeasibleScheduleError",
+    "TopologyError",
+    "SchedulingError",
+    "FaultError",
+    "RecoveryError",
+    "OverloadError",
+    "StaticCheckError",
+    "LintError",
+    "CertificationError",
+    "InvariantViolationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -72,6 +88,43 @@ class OverloadError(ReproError):
     (``defer``, ``shed``) never raise -- refused releases are counted in the
     :class:`~repro.online.report.OnlineDegradationReport` instead.
     """
+
+
+class StaticCheckError(ReproError):
+    """Base class for static-analysis failures (:mod:`repro.staticcheck`).
+
+    Static checks run *before* execution: the determinism lint over the
+    source tree and the schedule certificate checker.  Both raise
+    subclasses of this error, so review tooling can catch static
+    verdicts separately from runtime failures.
+    """
+
+
+class LintError(StaticCheckError):
+    """The lint engine itself was misused or could not run.
+
+    Raised for an unknown rule id in ``--select``, an unreadable scan
+    path, or a malformed suppression comment -- *not* for lint findings
+    (findings are data, reported through the
+    :class:`~repro.staticcheck.engine.LintReport`).
+    """
+
+
+class CertificationError(StaticCheckError):
+    """A schedule failed static certification.
+
+    Raised by :func:`repro.staticcheck.certify_schedule` (strict mode)
+    when a schedule violates an invariant the certificate checker proves
+    without executing it: an object needed in two places at once, a
+    commit-time separation smaller than the conflict-edge weight, an
+    itinerary leg shorter than the shortest-path distance, or a claimed
+    theorem bound that does not hold.  ``failures`` carries the names of
+    the failed checks.
+    """
+
+    def __init__(self, message: str, failures: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.failures: tuple[str, ...] = tuple(failures)
 
 
 class InvariantViolationError(ReproError):

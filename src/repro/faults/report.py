@@ -11,7 +11,7 @@ back to the events that caused it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import ClassVar, Tuple
 
 from ..analysis.report import register_report, report_payload, report_to_json
 from ..core.schedule import Schedule
@@ -30,6 +30,8 @@ class DegradationReport:
     ``attribution`` pairs each fault event's description with the number
     of disruptions (waits, reroutes, recoveries) it caused, worst first.
     """
+
+    report_kind: ClassVar[str]  # set by @register_report
 
     planned_makespan: int
     realized_makespan: int

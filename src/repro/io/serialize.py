@@ -46,6 +46,8 @@ __all__ = [
     "load_schedule",
     "save_fault_plan",
     "load_fault_plan",
+    "save_certificate",
+    "load_certificate",
 ]
 
 _FORMAT_VERSION = 1
@@ -282,3 +284,28 @@ def load_fault_plan(
 ) -> FaultPlan:
     """Read a fault plan from a JSON file (validated against ``network``)."""
     return fault_plan_from_json(_load(path), network=network)
+
+
+def save_certificate(cert, path: str | Path) -> None:
+    """Write a schedule certificate to an enveloped JSON file.
+
+    The certificate's own SHA-256 signature rides inside the standard
+    ``schema_version``/``kind`` envelope (kind ``"certificate"``), so a
+    loaded certificate can be re-verified offline with
+    :func:`repro.staticcheck.verify_certificate`.
+    """
+    from ..staticcheck.certify import certificate_to_dict
+
+    write_json(path, "certificate", certificate_to_dict(cert))
+
+
+def load_certificate(path: str | Path):
+    """Read a schedule certificate written by :func:`save_certificate`.
+
+    Returns a :class:`repro.staticcheck.Certificate`; the signature is
+    preserved verbatim (verify it with
+    :func:`repro.staticcheck.verify_certificate`).
+    """
+    from ..staticcheck.certify import certificate_from_dict
+
+    return certificate_from_dict(read_json(path, "certificate"))

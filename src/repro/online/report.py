@@ -13,7 +13,7 @@ silently dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import ClassVar, Tuple
 
 from ..analysis.report import register_report, report_payload, report_to_json
 
@@ -32,6 +32,8 @@ class OnlineDegradationReport:
     their lease-holding node crashed; ``violations`` is the sanitizer's
     count (always 0 on a correct runtime).
     """
+
+    report_kind: ClassVar[str]  # set by @register_report
 
     released: int
     committed: int

@@ -110,7 +110,7 @@ class ReplicatedInstance:
                 writers.setdefault(o, []).append(t)
             for o in t.reads:
                 readers.setdefault(o, []).append(t)
-        for o in set(writers) | set(readers):
+        for o in sorted(set(writers) | set(readers)):
             if o not in self.object_homes:
                 raise InstanceError(f"object {o} has no home node")
         for o, v in self.object_homes.items():
@@ -156,7 +156,7 @@ class ReplicatedInstance:
         ]
         homes = {
             o: self.object_homes[o]
-            for o in set().union(*(t.objects for t in self.transactions))
+            for o in sorted(set().union(*(t.objects for t in self.transactions)))
         }
         return Instance(self.network, txns, homes)
 

@@ -1,0 +1,57 @@
+"""Static analysis: determinism lint, schedule certificates, typing gate.
+
+Three layers, all runnable without executing a single schedule:
+
+* **Determinism lint** (:mod:`~repro.staticcheck.engine`,
+  :mod:`~repro.staticcheck.rules`) -- pluggable AST passes over the
+  source tree that flag nondeterminism hazards (unseeded RNGs,
+  wall-clock reads in the engines, unsorted set iteration, mutable
+  defaults), fork-pool races, and ``__all__`` drift.  CLI:
+  ``repro lint [--json] [--select RULE,...]``.
+* **Schedule certificates** (:mod:`~repro.staticcheck.certify`) --
+  prove a :class:`~repro.core.schedule.Schedule` respects the paper's
+  §2 invariants (single copy, conflict separation, itinerary
+  feasibility, theorem bounds) and emit a signed certificate dict that
+  ``repro validate`` persists.
+* **Typing gate** (:mod:`~repro.staticcheck.gate`) -- ``mypy --strict``
+  and ``ruff`` wiring for CI; skipped gracefully where the tools are
+  not installed.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, suppression
+syntax, and the certificate format.
+"""
+
+from .certify import (
+    Certificate,
+    CheckResult,
+    certificate_from_dict,
+    certificate_to_dict,
+    certify_schedule,
+    verify_certificate,
+)
+from .engine import LintReport, iter_source_files, lint_source, run_lint
+from .gate import GateStep, run_typing_gate, typing_gate_targets
+from .model import Finding, ParsedModule, Rule, parse_module
+from .rules import DEFAULT_RULES, rule_catalog
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "parse_module",
+    "DEFAULT_RULES",
+    "rule_catalog",
+    "LintReport",
+    "run_lint",
+    "lint_source",
+    "iter_source_files",
+    "Certificate",
+    "CheckResult",
+    "certify_schedule",
+    "verify_certificate",
+    "certificate_to_dict",
+    "certificate_from_dict",
+    "GateStep",
+    "run_typing_gate",
+    "typing_gate_targets",
+]

@@ -1,0 +1,200 @@
+"""The lint engine: walk sources, run rules, merge findings.
+
+:func:`run_lint` is the programmatic entry point behind ``repro lint``:
+it expands the given paths to ``.py`` files, parses each once, runs
+every (selected) rule over the shared AST, honours suppression comments,
+and returns an immutable :class:`LintReport`.  A file that fails to
+parse contributes a single ``PARSE000`` finding instead of aborting the
+run, so one broken file cannot hide findings elsewhere.
+
+Determinism contract: files are visited in sorted path order and
+findings are reported sorted by ``(path, line, col, rule)``, so the
+report is byte-stable for a given tree -- it can be diffed, cached, and
+asserted on in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import LintError
+from .model import Finding, Rule, parse_module
+from .rules import DEFAULT_RULES
+
+__all__ = ["LintReport", "run_lint", "lint_source", "iter_source_files"]
+
+#: pseudo-rule id for files the parser rejects
+PARSE_RULE = "PARSE000"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+    rules_run: Tuple[str, ...]
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run produced no findings."""
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """``rule id -> number of findings`` (only rules that fired)."""
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for the versioned JSON envelope."""
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (grep-able, hint per finding)."""
+        if self.ok:
+            return (
+                f"OK: {self.files_scanned} files clean "
+                f"({len(self.rules_run)} rules, {self.suppressed} suppressed)"
+            )
+        lines = [f.render() + f"\n    hint: {f.fix_hint}" for f in self.findings]
+        counts = ", ".join(
+            f"{rule} x{n}" for rule, n in self.counts_by_rule().items()
+        )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_scanned} "
+            f"files ({counts}; {self.suppressed} suppressed)"
+        )
+        return "\n".join(lines)
+
+
+def iter_source_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories to ``.py`` files, sorted, caches skipped."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    yield sub
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"lint path {path} does not exist")
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    if select is None:
+        return DEFAULT_RULES
+    known = {r.rule_id: r for r in DEFAULT_RULES}
+    chosen: List[Rule] = []
+    for rule_id in select:
+        rule_id = rule_id.strip()
+        if not rule_id:
+            continue
+        if rule_id not in known:
+            raise LintError(
+                f"unknown rule id {rule_id!r}; known rules: "
+                f"{', '.join(sorted(known))}"
+            )
+        chosen.append(known[rule_id])
+    if not chosen:
+        raise LintError("rule selection is empty")
+    return tuple(chosen)
+
+
+def _lint_one(
+    source: str, path: str, rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    try:
+        module = parse_module(source, path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    rule=PARSE_RULE,
+                    severity="error",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                    fix_hint="fix the syntax error; no rules ran on this file",
+                )
+            ],
+            0,
+        )
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies(module):
+            continue
+        for finding in rule.visit(module):
+            if module.suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    select: Optional[Sequence[str]] = None,
+) -> Tuple[Finding, ...]:
+    """Lint one in-memory source string (unit-test / tooling helper).
+
+    ``path`` participates in directory scoping, so passing e.g.
+    ``"sim/engine.py"`` exercises the engine-scoped rules.
+    """
+    findings, _ = _lint_one(source, path, _select_rules(select))
+    return tuple(sorted(findings, key=lambda f: (f.line, f.col, f.rule)))
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Optional[Sequence[str]] = None,
+    root: Optional[str | Path] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and merge the findings.
+
+    ``select`` restricts the run to the listed rule ids (raises
+    :class:`~repro.errors.LintError` on an unknown id); ``root`` makes
+    reported paths relative to the given directory for stable output.
+    """
+    rules = _select_rules(select)
+    all_findings: List[Finding] = []
+    suppressed_total = 0
+    files = 0
+    root_path = Path(root) if root is not None else None
+    for file_path in iter_source_files(paths):
+        files += 1
+        shown = file_path
+        if root_path is not None:
+            try:
+                shown = file_path.relative_to(root_path)
+            except ValueError:
+                shown = file_path
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        findings, suppressed = _lint_one(source, str(shown), rules)
+        all_findings.extend(findings)
+        suppressed_total += suppressed
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=tuple(all_findings),
+        files_scanned=files,
+        rules_run=tuple(r.rule_id for r in rules),
+        suppressed=suppressed_total,
+    )

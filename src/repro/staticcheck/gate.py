@@ -1,0 +1,121 @@
+"""The strict-typing and style gate: mypy + ruff, when available.
+
+The AST lint (:mod:`repro.staticcheck.engine`) is stdlib-only and always
+runs; this module wires in the two external tools the CI lint job adds
+on top -- ``mypy --strict`` over the typed core (configured in
+``pyproject.toml``) and ``ruff check``.  Neither tool is a hard runtime
+dependency: on machines without them the gate reports the step as
+*skipped* rather than failing, so ``repro lint --gate`` degrades
+gracefully while CI (which installs both) enforces them.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["GateStep", "typing_gate_targets", "run_typing_gate"]
+
+#: paths (relative to the repo root) covered by ``mypy --strict``
+MYPY_TARGETS: Tuple[str, ...] = (
+    "src/repro/errors.py",
+    "src/repro/faults/report.py",
+    "src/repro/online/report.py",
+    "src/repro/staticcheck",
+)
+
+
+@dataclass(frozen=True)
+class GateStep:
+    """Outcome of one external tool invocation."""
+
+    tool: str
+    available: bool
+    returncode: int
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        """True iff the tool was skipped or exited cleanly."""
+        return (not self.available) or self.returncode == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for the lint JSON envelope."""
+        return {
+            "tool": self.tool,
+            "available": self.available,
+            "returncode": self.returncode,
+            "output": self.output,
+        }
+
+    def render(self) -> str:
+        """One-line status; tool output follows on failure."""
+        if not self.available:
+            return f"gate: {self.tool} not installed; skipped"
+        if self.returncode == 0:
+            return f"gate: {self.tool} OK"
+        return f"gate: {self.tool} FAILED (exit {self.returncode})\n{self.output}"
+
+
+def _repo_root() -> Optional[Path]:
+    """The checkout root (where pyproject.toml lives), if recognizable."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return None
+
+
+def typing_gate_targets(root: Optional[Path] = None) -> List[str]:
+    """The mypy target paths that actually exist under ``root``."""
+    base = root or _repo_root()
+    if base is None:
+        return []
+    return [str(base / t) for t in MYPY_TARGETS if (base / t).exists()]
+
+
+def _run(cmd: Sequence[str], cwd: Optional[Path]) -> Tuple[int, str]:
+    proc = subprocess.run(
+        list(cmd),
+        cwd=str(cwd) if cwd else None,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, (proc.stdout + proc.stderr).strip()
+
+
+def run_typing_gate(
+    tools: Sequence[str] = ("ruff", "mypy"),
+    root: Optional[str | Path] = None,
+) -> List[GateStep]:
+    """Run the external gate tools that are installed; skip the rest.
+
+    ``ruff`` checks the source tree with the repo's ``pyproject.toml``
+    config; ``mypy`` runs ``--strict`` over :data:`MYPY_TARGETS`.  Each
+    tool yields one :class:`GateStep`; a step with ``available=False``
+    never fails the gate.
+    """
+    base = Path(root) if root is not None else _repo_root()
+    steps: List[GateStep] = []
+    for tool in tools:
+        exe = shutil.which(tool)
+        if exe is None:
+            steps.append(GateStep(tool, False, 0, ""))
+            continue
+        if tool == "ruff":
+            target = str(base / "src" / "repro") if base else "src/repro"
+            code, out = _run([exe, "check", target], base)
+        elif tool == "mypy":
+            targets = typing_gate_targets(base)
+            if not targets:
+                steps.append(GateStep(tool, False, 0, "no targets found"))
+                continue
+            code, out = _run([exe, "--strict", *targets], base)
+        else:
+            code, out = _run([exe, "--version"], base)
+        steps.append(GateStep(tool, True, code, out))
+    return steps

@@ -1,0 +1,166 @@
+"""Data model of the static analyser: rules, findings, parsed modules.
+
+A :class:`Rule` is one pluggable AST pass with a stable id (``DET001``,
+``PROC001``, ...), a severity, and a fix hint; it inspects a
+:class:`ParsedModule` and yields :class:`Finding` records.  Findings are
+plain data so the engine can render them as text or wrap them in the
+repo's standard JSON envelope unchanged.
+
+Suppressions are source comments, checked per finding:
+
+* ``# staticcheck: ignore[DET001]`` -- silence the listed rule ids on
+  that line (``ALL`` silences every rule);
+* ``# staticcheck: ignore-file[DET003]`` -- silence the listed rule ids
+  for the whole module, wherever the comment appears.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+__all__ = ["Severity", "Finding", "ParsedModule", "Rule", "parse_module"]
+
+#: allowed severities, mildest last
+Severity = str
+SEVERITIES: Tuple[Severity, ...] = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore(?P<scope>-file)?\["
+    r"(?P<ids>[A-Z0-9_,\s]+)\]"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: a rule fired at a specific source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for JSON envelopes and tables."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` -- one grep-able line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    line_suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_suppressions: FrozenSet[str] = frozenset()
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """Path components, used by directory-scoped rules."""
+        return Path(self.path).parts
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True iff ``rule`` is silenced at ``line`` (or module-wide)."""
+        for ids in (self.file_suppressions, self.line_suppressions.get(line)):
+            if ids and (rule in ids or "ALL" in ids):
+                return True
+        return False
+
+
+def _suppressions(source: str) -> tuple[Dict[int, FrozenSet[str]], FrozenSet[str]]:
+    per_line: Dict[int, FrozenSet[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        ids = frozenset(
+            token.strip() for token in m.group("ids").split(",") if token.strip()
+        )
+        if m.group("scope"):
+            whole_file |= ids
+        else:
+            per_line[lineno] = ids
+    return per_line, frozenset(whole_file)
+
+
+def parse_module(source: str, path: str) -> ParsedModule:
+    """Parse ``source`` into the shared per-file analysis input.
+
+    Raises :class:`SyntaxError` on unparseable source; the engine turns
+    that into a ``PARSE000`` finding rather than aborting the whole run.
+    """
+    tree = ast.parse(source, filename=path)
+    per_line, whole_file = _suppressions(source)
+    return ParsedModule(
+        path=path,
+        tree=tree,
+        source=source,
+        line_suppressions=per_line,
+        file_suppressions=whole_file,
+    )
+
+
+class Rule:
+    """Base class for one static-analysis pass.
+
+    Subclasses set the class attributes and implement :meth:`visit`;
+    :meth:`applies` lets directory-scoped rules (e.g. the wall-clock
+    rule, which only patrols the deterministic engines) opt out of
+    irrelevant files cheaply.
+    """
+
+    #: stable identifier, e.g. ``DET001``; used in reports and ``--select``
+    rule_id: str = "RULE000"
+    #: ``error`` or ``warning``
+    severity: Severity = "error"
+    #: one-line description for the catalogue
+    title: str = ""
+    #: how to fix a finding, shown verbatim in reports
+    fix_hint: str = ""
+    #: directory names this rule is scoped to (empty = everywhere)
+    scope_dirs: FrozenSet[str] = frozenset()
+
+    def applies(self, module: ParsedModule) -> bool:
+        """True iff this rule should inspect ``module``."""
+        if not self.scope_dirs:
+            return True
+        return any(part in self.scope_dirs for part in module.parts[:-1])
+
+    def visit(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield every finding in ``module``; subclasses implement."""
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix_hint=self.fix_hint,
+        )

@@ -1,0 +1,7 @@
+"""Bad twin for DET004: a mutable default argument shared across calls."""
+
+
+def collect(item, bucket=[]):
+    """Append ``item`` to ``bucket`` (the hazard under test)."""
+    bucket.append(item)
+    return bucket

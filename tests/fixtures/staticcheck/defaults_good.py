@@ -1,0 +1,9 @@
+"""Good twin for DET004: the container default is built per call."""
+
+
+def collect(item, bucket=None):
+    """Append ``item`` to a fresh bucket unless one is given."""
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,8 @@
+"""Bad twin for EXP001: ``__all__`` names a symbol that never exists."""
+
+__all__ = ["real_thing", "ghost"]
+
+
+def real_thing():
+    """Return a value."""
+    return 42

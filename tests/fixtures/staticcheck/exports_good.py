@@ -1,0 +1,8 @@
+"""Good twin for EXP001: every ``__all__`` entry is bound."""
+
+__all__ = ["real_thing"]
+
+
+def real_thing():
+    """Return a value."""
+    return 42

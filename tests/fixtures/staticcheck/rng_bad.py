@@ -1,0 +1,9 @@
+"""Bad twin for DET001: constructs an RNG with no seed."""
+
+import numpy as np
+
+
+def jitter(values):
+    """Perturb values nondeterministically (the hazard under test)."""
+    rng = np.random.default_rng()
+    return [v + rng.standard_normal() for v in values]

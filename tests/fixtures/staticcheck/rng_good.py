@@ -1,0 +1,9 @@
+"""Good twin for DET001: every RNG is built from an explicit seed."""
+
+import numpy as np
+
+
+def jitter(values, seed):
+    """Perturb values reproducibly from ``seed``."""
+    rng = np.random.default_rng(seed)
+    return [v + rng.standard_normal() for v in values]

@@ -1,0 +1,9 @@
+"""Bad twin for DET003: iterates a set union into an ordered list."""
+
+
+def merged(a, b):
+    """Combine two id collections (the hazard under test)."""
+    out = []
+    for item in set(a) | set(b):
+        out.append(item)
+    return out

@@ -1,0 +1,9 @@
+"""Good twin for DET003: the set union is sorted before iteration."""
+
+
+def merged(a, b):
+    """Combine two id collections in a pinned order."""
+    out = []
+    for item in sorted(set(a) | set(b)):
+        out.append(item)
+    return out

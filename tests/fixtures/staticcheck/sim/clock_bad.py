@@ -1,0 +1,8 @@
+"""Bad twin for DET002: reads the wall clock inside an engine path."""
+
+import time
+
+
+def stamp_step(step):
+    """Tag a step with real time (the hazard under test)."""
+    return step, time.time()

@@ -1,0 +1,6 @@
+"""Good twin for DET002: logical time only; no wall-clock reads."""
+
+
+def stamp_step(step, logical_clock):
+    """Tag a step with the simulation's own clock."""
+    return step, logical_clock

@@ -1,0 +1,17 @@
+"""Bad twin for PROC001: a fork-pool worker mutates module state."""
+
+from multiprocessing import Pool
+
+_RESULTS = []
+
+
+def _worker(x):
+    """Square ``x`` and stash it in module state (the hazard under test)."""
+    _RESULTS.append(x * x)
+    return x * x
+
+
+def run(xs):
+    """Map the worker over ``xs`` in a process pool."""
+    with Pool(2) as pool:
+        return pool.map(_worker, xs)

@@ -1,0 +1,14 @@
+"""Good twin for PROC001: workers return results; the parent merges."""
+
+from multiprocessing import Pool
+
+
+def _worker(x):
+    """Square ``x`` and return it across the pipe."""
+    return x * x
+
+
+def run(xs):
+    """Map the worker over ``xs`` and merge results in the parent."""
+    with Pool(2) as pool:
+        return list(pool.map(_worker, xs))

@@ -1,0 +1,359 @@
+"""Determinism lint: every rule fires on its bad twin, stays silent on
+the good twin, suppressions and selection work, and the shipped source
+tree lints clean (the whole point of the subsystem)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.errors import LintError
+from repro.staticcheck import (
+    DEFAULT_RULES,
+    lint_source,
+    rule_catalog,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "staticcheck"
+RULE_IDS = [r.rule_id for r in DEFAULT_RULES]
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------- #
+# per-rule unit checks on in-memory sources
+# ---------------------------------------------------------------------- #
+
+
+class TestUnseededRng:
+    def test_default_rng_without_seed_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint_source(src)) == ["DET001"]
+
+    def test_seeded_default_rng_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng(7)\n"
+            "b = np.random.default_rng(seed=7)\n"
+        )
+        assert lint_source(src) == ()
+
+    def test_global_numpy_rng_call_fires(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert rules_of(lint_source(src)) == ["DET001"]
+
+    def test_stdlib_global_rng_fires(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_of(lint_source(src)) == ["DET001"]
+
+    def test_unseeded_stdlib_random_class_fires(self):
+        src = "import random\nr = random.Random()\n"
+        assert rules_of(lint_source(src)) == ["DET001"]
+
+    def test_generator_method_named_random_is_clean(self):
+        # rng.random() is a Generator method, not the global module
+        src = "def f(rng):\n    return rng.random()\n"
+        assert lint_source(src) == ()
+
+
+class TestWallClock:
+    def test_time_in_engine_path_fires(self):
+        src = "import time\nt = time.time()\n"
+        assert rules_of(lint_source(src, path="sim/engine.py")) == ["DET002"]
+        assert rules_of(lint_source(src, path="core/x.py")) == ["DET002"]
+
+    def test_time_outside_engine_scope_is_clean(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, path="benchmarks/harness.py") == ()
+
+    def test_perf_counter_is_allowed(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, path="sim/engine.py") == ()
+
+    def test_datetime_now_fires(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert rules_of(lint_source(src, path="faults/plan.py")) == ["DET002"]
+
+
+class TestUnsortedSetIteration:
+    def test_for_over_set_call_fires(self):
+        src = "def f(xs):\n    for x in set(xs):\n        print(x)\n"
+        assert rules_of(lint_source(src)) == ["DET003"]
+
+    def test_for_over_set_union_fires_once(self):
+        src = "def f(a, b):\n    for x in set(a) | set(b):\n        print(x)\n"
+        assert rules_of(lint_source(src)) == ["DET003"]
+
+    def test_sorted_wrapper_is_clean(self):
+        src = "def f(xs):\n    for x in sorted(set(xs)):\n        print(x)\n"
+        assert lint_source(src) == ()
+
+    def test_listcomp_over_set_method_fires(self):
+        src = "def f(ts):\n    return [o for o in set().union(*ts)]\n"
+        assert rules_of(lint_source(src)) == ["DET003"]
+
+    def test_order_free_consumer_is_clean(self):
+        src = "def f(xs):\n    return sum(x for x in set(xs))\n"
+        assert lint_source(src) == ()
+
+    def test_set_comprehension_result_is_clean(self):
+        # set -> set keeps no order; nothing ordered is produced
+        src = "def f(xs):\n    return {x + 1 for x in set(xs)}\n"
+        assert lint_source(src) == ()
+
+
+class TestMutableDefault:
+    def test_list_literal_default_fires(self):
+        src = "def f(x, acc=[]):\n    return acc\n"
+        assert rules_of(lint_source(src)) == ["DET004"]
+
+    def test_dict_call_default_fires(self):
+        src = "def f(x, acc=dict()):\n    return acc\n"
+        assert rules_of(lint_source(src)) == ["DET004"]
+
+    def test_kwonly_mutable_default_fires(self):
+        src = "def f(x, *, acc={}):\n    return acc\n"
+        assert rules_of(lint_source(src)) == ["DET004"]
+
+    def test_none_default_is_clean(self):
+        src = "def f(x, acc=None):\n    return acc or []\n"
+        assert lint_source(src) == ()
+
+    def test_tuple_default_is_clean(self):
+        src = "def f(x, acc=()):\n    return acc\n"
+        assert lint_source(src) == ()
+
+
+class TestSharedMutableState:
+    def test_worker_append_fires(self):
+        src = (
+            "from multiprocessing import Pool\n"
+            "_ACC = []\n"
+            "def worker(x):\n"
+            "    _ACC.append(x)\n"
+        )
+        assert rules_of(lint_source(src)) == ["PROC001"]
+
+    def test_global_rebind_fires(self):
+        src = (
+            "import multiprocessing\n"
+            "STATE = {}\n"
+            "def worker(x):\n"
+            "    global STATE\n"
+            "    STATE = {x: 1}\n"
+        )
+        assert "PROC001" in rules_of(lint_source(src))
+
+    def test_subscript_write_fires(self):
+        src = (
+            "import multiprocessing\n"
+            "CACHE = {}\n"
+            "def worker(x):\n"
+            "    CACHE[x] = x * x\n"
+        )
+        assert rules_of(lint_source(src)) == ["PROC001"]
+
+    def test_without_multiprocessing_import_silent(self):
+        src = "_ACC = []\ndef worker(x):\n    _ACC.append(x)\n"
+        assert lint_source(src) == ()
+
+    def test_local_mutation_is_clean(self):
+        src = (
+            "from multiprocessing import Pool\n"
+            "def worker(xs):\n"
+            "    acc = []\n"
+            "    acc.append(1)\n"
+            "    return acc\n"
+        )
+        assert lint_source(src) == ()
+
+
+class TestExportDrift:
+    def test_dangling_export_fires(self):
+        src = "__all__ = ['gone']\n"
+        assert rules_of(lint_source(src)) == ["EXP001"]
+
+    def test_duplicate_export_fires(self):
+        src = "__all__ = ['f', 'f']\ndef f():\n    pass\n"
+        assert rules_of(lint_source(src)) == ["EXP001"]
+
+    def test_bound_exports_are_clean(self):
+        src = (
+            "from os import path\n"
+            "import sys\n"
+            "__all__ = ['path', 'sys', 'X', 'f', 'C']\n"
+            "X = 1\n"
+            "def f():\n    pass\n"
+            "class C:\n    pass\n"
+        )
+        assert lint_source(src) == ()
+
+    def test_conditional_binding_resolves(self):
+        src = (
+            "__all__ = ['impl']\n"
+            "try:\n"
+            "    from fast import impl\n"
+            "except ImportError:\n"
+            "    def impl():\n        pass\n"
+        )
+        assert lint_source(src) == ()
+
+    def test_star_import_module_is_skipped(self):
+        src = "from os.path import *\n__all__ = ['join']\n"
+        assert lint_source(src) == ()
+
+
+# ---------------------------------------------------------------------- #
+# engine behaviour
+# ---------------------------------------------------------------------- #
+
+
+def test_line_suppression_silences_rule():
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # staticcheck: ignore[DET001]\n"
+    )
+    assert lint_source(src) == ()
+
+
+def test_file_suppression_silences_rule():
+    src = (
+        "# staticcheck: ignore-file[DET004]\n"
+        "def f(x, acc=[]):\n    return acc\n"
+    )
+    assert lint_source(src) == ()
+
+
+def test_suppression_only_silences_listed_rules():
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # staticcheck: ignore[DET003]\n"
+    )
+    assert rules_of(lint_source(src)) == ["DET001"]
+
+
+def test_select_restricts_rules():
+    src = "def f(x, acc=[]):\n    return set(acc)\n"
+    assert lint_source(src, select=["DET003"]) == ()
+    assert rules_of(lint_source(src, select=["DET004"])) == ["DET004"]
+
+
+def test_unknown_select_raises_lint_error():
+    with pytest.raises(LintError):
+        lint_source("x = 1\n", select=["NOPE999"])
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    report = run_lint([bad])
+    assert [f.rule for f in report.findings] == ["PARSE000"]
+    assert not report.ok
+
+
+def test_missing_path_raises(tmp_path):
+    with pytest.raises(LintError):
+        run_lint([tmp_path / "nope"])
+
+
+def test_report_shape_and_render(tmp_path):
+    report = run_lint([FIXTURES])
+    d = report.as_dict()
+    assert d["ok"] is False
+    assert d["files_scanned"] == 12
+    assert sorted(d["counts_by_rule"]) == sorted(RULE_IDS)
+    assert "finding(s)" in report.render()
+
+
+def test_rule_catalog_covers_all_rules():
+    assert [e["rule"] for e in rule_catalog()] == RULE_IDS
+    for entry in rule_catalog():
+        assert entry["title"] and entry["fix_hint"]
+
+
+# ---------------------------------------------------------------------- #
+# the acceptance criteria
+# ---------------------------------------------------------------------- #
+
+
+def test_shipped_tree_lints_clean():
+    pkg = Path(repro.__file__).parent
+    report = run_lint([pkg])
+    assert report.ok, "\n" + report.render()
+    assert report.files_scanned > 100
+
+
+def test_fixture_corpus_fires_every_rule_exactly_once():
+    report = run_lint([FIXTURES])
+    assert report.counts_by_rule() == {rule: 1 for rule in RULE_IDS}
+    bad_files = {f.path for f in report.findings}
+    assert all("_bad" in p for p in bad_files)
+
+
+# ---------------------------------------------------------------------- #
+# CLI round trips
+# ---------------------------------------------------------------------- #
+
+
+def test_cli_lint_fixtures_json_roundtrip(tmp_path, capsys):
+    out = tmp_path / "lint.json"
+    code = main(["lint", str(FIXTURES), "--json", str(out)])
+    assert code == 1
+    payload = json.loads(out.read_text())
+    assert payload["kind"] == "lint"
+    assert payload["schema_version"] == 1
+    body = payload["body"]
+    assert body["counts_by_rule"] == {rule: 1 for rule in RULE_IDS}
+    assert len(body["findings"]) == len(RULE_IDS)
+    for finding in body["findings"]:
+        assert finding["fix_hint"]
+
+
+def test_cli_lint_json_to_stdout(capsys):
+    code = main(["lint", str(FIXTURES), "--json", "-"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "lint"
+    assert payload["body"]["ok"] is False
+
+
+def test_cli_lint_clean_tree_exits_zero(capsys):
+    pkg = Path(repro.__file__).parent
+    assert main(["lint", str(pkg)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_lint_default_path_is_package(capsys):
+    assert main(["lint"]) == 0
+
+
+def test_cli_lint_select(capsys):
+    assert main(["lint", str(FIXTURES), "--select", "EXP001"]) == 1
+    out = capsys.readouterr().out
+    assert "EXP001" in out and "DET001" not in out
+
+
+def test_cli_lint_rules_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULE_IDS:
+        assert rule in out
+
+
+def test_cli_lint_gate_degrades_gracefully(capsys):
+    # tools may or may not be installed; either way the lint verdict on
+    # the clean tree decides the exit code unless an installed tool fails
+    pkg = Path(repro.__file__).parent
+    code = main(["lint", str(pkg), "--gate"])
+    out = capsys.readouterr().out
+    assert "OK" in out
+    import shutil
+
+    if shutil.which("ruff") is None and shutil.which("mypy") is None:
+        assert code == 0
+        assert "skipped" in out
