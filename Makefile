@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo clean
+.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo service-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -53,6 +53,15 @@ trace-demo:
 	PYTHONPATH=src $(PYTHON) -m repro run e1 --quick --trace-out e1-trace.json
 	PYTHONPATH=src $(PYTHON) -m repro trace summarize e1-trace.json
 	PYTHONPATH=src $(PYTHON) -m repro trace export e1-trace.json --csv e1-trace.csv
+
+# run the continuous-arrival service: stable, overloaded, adversarial
+service-demo:
+	PYTHONPATH=src $(PYTHON) -m repro service --topology grid --size 4 \
+		--rate 0.5 --windows 40 --seed 7
+	PYTHONPATH=src $(PYTHON) -m repro service --topology grid --size 4 \
+		--rate 3.0 --windows 40 --high-water 24 --seed 7
+	PYTHONPATH=src $(PYTHON) -m repro service --topology clique --size 16 \
+		--stream adversarial --rate 0.6 --burst 4 --windows 40 --seed 7
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

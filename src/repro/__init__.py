@@ -36,6 +36,7 @@ from . import (
     network,
     online,
     replication,
+    service,
     sim,
     staticcheck,
     viz,
@@ -70,6 +71,7 @@ __all__ = [
     "network",
     "online",
     "replication",
+    "service",
     "sim",
     "staticcheck",
     "viz",

@@ -148,3 +148,4 @@ def _ensure_kinds_registered() -> None:
     from . import metrics  # noqa: F401
     from ..faults import report as _faults_report  # noqa: F401
     from ..online import report as _online_report  # noqa: F401
+    from ..service import report as _service_report  # noqa: F401

@@ -177,6 +177,49 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_service(args) -> int:
+    import numpy as np
+
+    from .service import ServiceConfig, run_service
+    from .workloads import spawn
+    from .workloads.streams import AdversarialStream, MMPPStream, PoissonStream
+
+    net = _build_network(args)
+    rng = spawn(args.seed, "cli-service", args.stream)
+    if args.stream == "poisson":
+        stream = PoissonStream(net, w=args.objects, k=args.k, rate=args.rate,
+                               rng=rng)
+    elif args.stream == "mmpp":
+        stream = MMPPStream(net, w=args.objects, k=args.k,
+                            rate_low=args.rate / 4, rate_high=args.rate * 2,
+                            switch=0.1, rng=rng)
+    else:  # adversarial
+        stream = AdversarialStream(net, w=args.objects, k=args.k,
+                                   rho=args.rate, burst=args.burst, rng=rng)
+    plan = None
+    if args.plan:
+        from .io import load_fault_plan
+
+        plan = load_fault_plan(args.plan, network=net)
+    config = ServiceConfig(
+        window=args.window,
+        high_water=args.high_water,
+        policy=args.policy,
+        deadline=args.deadline,
+    )
+    report = run_service(
+        stream, windows=args.windows, config=config, plan=plan,
+        rng=np.random.default_rng(args.seed or 0),
+    )
+    print(report.render())
+    if args.json:
+        from .io import save_report
+
+        save_report(report, args.json)
+        print(f"service report written to {args.json}")
+    return 0
+
+
 def _cmd_figures(args) -> int:
     from .core import GridScheduler
     from .network import cluster, grid, lower_bound_grid, lower_bound_tree, star
@@ -368,7 +411,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p_run = sub.add_parser("run", help="run experiment tables")
-    p_run.add_argument("experiments", nargs="+", help="e1..e18 or 'all'")
+    p_run.add_argument("experiments", nargs="+", help="e1..e19 or 'all'")
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--markdown", action="store_true")
@@ -382,7 +425,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep = sub.add_parser(
         "sweep", help="run experiments x seeds across worker processes"
     )
-    p_sweep.add_argument("experiments", nargs="+", help="e1..e18 or 'all'")
+    p_sweep.add_argument("experiments", nargs="+", help="e1..e19 or 'all'")
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0],
                          metavar="S", help="seeds to sweep (default: 0)")
     p_sweep.add_argument("--workers", type=int, default=1,
@@ -433,6 +476,40 @@ def main(argv: list[str] | None = None) -> int:
     p_sched.add_argument("--gantt", action="store_true")
     p_sched.set_defaults(func=_cmd_schedule)
 
+    p_svc = sub.add_parser(
+        "service", help="run the continuous-arrival scheduling service"
+    )
+    p_svc.add_argument("--topology", required=True)
+    p_svc.add_argument("--size", type=int, required=True,
+                       help="n / side / dim / alpha (per topology)")
+    p_svc.add_argument("--size2", type=int, default=None,
+                       help="cols / beta / ray length where applicable")
+    p_svc.add_argument("--stream", default="poisson",
+                       choices=["poisson", "mmpp", "adversarial"])
+    p_svc.add_argument("--rate", type=float, default=0.5,
+                       help="arrival rate (poisson/mmpp mean; rho for "
+                            "adversarial)")
+    p_svc.add_argument("--burst", type=int, default=4,
+                       help="adversarial burst bound b")
+    p_svc.add_argument("--objects", type=int, default=16)
+    p_svc.add_argument("--k", type=int, default=2)
+    p_svc.add_argument("--windows", type=int, default=50,
+                       help="arrival windows to run")
+    p_svc.add_argument("--window", type=int, default=16,
+                       help="window length in steps")
+    p_svc.add_argument("--high-water", type=int, default=64,
+                       help="backpressure high-water mark")
+    p_svc.add_argument("--policy", default="defer",
+                       choices=["defer", "shed", "strict"])
+    p_svc.add_argument("--deadline", type=int, default=None,
+                       help="max sojourn before a queued transaction expires")
+    p_svc.add_argument("--plan", default=None,
+                       help="fault plan JSON to inject live")
+    p_svc.add_argument("--seed", type=int, default=0)
+    p_svc.add_argument("--json", default=None, metavar="FILE",
+                       help="write the service report JSON envelope")
+    p_svc.set_defaults(func=_cmd_service)
+
     p_lint = sub.add_parser(
         "lint", help="static determinism/invariant lint over source trees"
     )
@@ -481,7 +558,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="full sweeps (default: quick)")
     p_rep.add_argument("--json", default=None, metavar="FILE",
                        help="also write every table as JSON")
-    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e18")
+    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e19")
     p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

@@ -17,6 +17,9 @@ __all__ = [
     "FaultError",
     "RecoveryError",
     "OverloadError",
+    "ServiceError",
+    "DeadlineExpiredError",
+    "SaturationError",
     "StaticCheckError",
     "LintError",
     "CertificationError",
@@ -87,6 +90,39 @@ class OverloadError(ReproError):
     and the controller runs in ``strict`` mode.  The graceful modes
     (``defer``, ``shed``) never raise -- refused releases are counted in the
     :class:`~repro.online.report.OnlineDegradationReport` instead.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for continuous-arrival service failures.
+
+    Raised by the long-lived scheduling service (:mod:`repro.service`)
+    when a robustness policy is configured to *fail* rather than degrade:
+    deadline expiry in strict mode (:class:`DeadlineExpiredError`) or
+    saturation in strict mode (:class:`SaturationError`).  The graceful
+    defaults never raise -- expired and shed transactions are counted in
+    the :class:`~repro.service.report.ServiceReport` instead.
+    """
+
+
+class DeadlineExpiredError(ServiceError):
+    """A transaction's sojourn exceeded its deadline before it committed.
+
+    Raised by the scheduling service only when configured with
+    ``on_expiry="strict"``; under the default ``"drop"`` policy the
+    expired transaction is removed from the backlog and counted in the
+    service report with a typed reason, and the service keeps running.
+    """
+
+
+class SaturationError(ServiceError):
+    """The saturation detector declared the service unstable.
+
+    Raised by the scheduling service only when configured with
+    ``on_saturation="strict"``: the queue-growth regression over the
+    sliding horizon crossed the slope threshold while the backlog sat
+    above the arming floor.  Under the default ``"shed"`` policy the
+    service flips into load-shedding mode instead and keeps running.
     """
 
 

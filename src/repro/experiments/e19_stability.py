@@ -1,0 +1,156 @@
+"""E19 (extension, stability) -- the service under continuous arrivals.
+
+Stability theory for transactional memory schedulers (Busch et al.,
+arXiv:2208.07359) predicts a saturation point: below a topology-dependent
+injection rate a windowed greedy scheduler keeps queues bounded; above
+it, queues and sojourn times diverge.  E19 measures that transition on
+the live :class:`~repro.service.SchedulingService`: a rate sweep per
+topology reports the mean/peak backlog, the backlog-growth slope, sojourn
+latency percentiles (p50/p99), and the window at which the online
+saturation detector tripped, locating the measured saturation point
+between the last stable and first saturated rate.  Two robustness rows
+ride along per topology: a bursty MMPP stream at a stable mean rate
+(bounded queues despite storms) and a sub-saturation Poisson stream under
+a live fault plan driven through the reactive engine (graceful
+degradation: bounded losses, typed accounting intact).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import Table
+from ..faults.plan import FaultPlan, LinkFailure, NodeCrash, ObjectStall
+from ..network.topologies import clique, grid
+from ..obs.recorder import Recorder
+from ..service import ServiceConfig, run_service
+from ..workloads.seeds import spawn
+from ..workloads.streams import MMPPStream, PoissonStream
+from .common import attach_metrics_note
+
+EXP_ID = "e19"
+TITLE = "E19 (extension): service stability -- backlog and sojourn vs rate"
+SUPPORTS_RECORDER = True
+
+
+def _config(window: int) -> ServiceConfig:
+    return ServiceConfig(
+        window=window,
+        high_water=48,
+        policy="defer",
+        detector_horizon=6,
+        slope_threshold=0.4,
+        on_saturation="shed",
+    )
+
+
+def _row(rep, net, stream_name: str, rate: float) -> dict:
+    return {
+        "topology": net.topology.name,
+        "stream": stream_name,
+        "rate": rate,
+        "released": rep.released,
+        "commit_rate": round(rep.commit_rate, 4),
+        "mean_backlog": round(rep.mean_backlog, 2),
+        "peak_backlog": rep.peak_backlog,
+        "slope": round(rep.final_slope, 3),
+        "sojourn_p50": rep.sojourn_p50,
+        "sojourn_p99": rep.sojourn_p99,
+        "shed_frac": round(rep.shed_fraction, 4),
+        "lost": rep.lost + rep.expired,
+        "saturated_at": -1 if rep.saturated_at is None else rep.saturated_at,
+    }
+
+
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
+    windows = 24 if quick else 60
+    window_len = 8
+    rates = [0.4, 2.5] if quick else [0.2, 0.5, 1.0, 1.5, 2.5]
+    networks = [grid(4)] if quick else [grid(4), clique(16)]
+    cfg = _config(window_len)
+    table = Table(
+        TITLE,
+        columns=[
+            "topology",
+            "stream",
+            "rate",
+            "released",
+            "commit_rate",
+            "mean_backlog",
+            "peak_backlog",
+            "slope",
+            "sojourn_p50",
+            "sojourn_p99",
+            "shed_frac",
+            "lost",
+            "saturated_at",
+        ],
+    )
+    saturation_points: list[str] = []
+    for net in networks:
+        w = net.n  # object universe scales with the topology
+        first_saturated: float | None = None
+        last_stable: float | None = None
+        for rate in rates:
+            rng = spawn(seed, EXP_ID, net.topology.name, "poisson", rate)
+            stream = PoissonStream(net, w=w, k=2, rate=rate, rng=rng)
+            rep = run_service(
+                stream, windows=windows, config=cfg,
+                rng=spawn(seed, EXP_ID, net.topology.name, "svc", rate),
+                recorder=recorder,
+            )
+            assert rep.accounted, "service lost track of a transaction"
+            table.add(**_row(rep, net, "poisson", rate))
+            if rep.saturated:
+                if first_saturated is None:
+                    first_saturated = rate
+            else:
+                last_stable = rate
+        saturation_points.append(
+            f"{net.topology.name}: stable at {last_stable}, saturated at "
+            f"{first_saturated}"
+            if first_saturated is not None
+            else f"{net.topology.name}: stable at every swept rate"
+        )
+        # bursty arrivals at a stable mean rate: storms defer, queues drain
+        rng = spawn(seed, EXP_ID, net.topology.name, "mmpp")
+        mmpp = MMPPStream(
+            net, w=w, k=2, rate_low=0.2, rate_high=1.5, switch=0.1, rng=rng
+        )
+        rep = run_service(
+            mmpp, windows=windows, config=cfg,
+            rng=spawn(seed, EXP_ID, net.topology.name, "svc-mmpp"),
+            recorder=recorder,
+        )
+        assert rep.accounted
+        table.add(**_row(rep, net, "mmpp", 0.85))
+        # live faults at a sub-saturation rate: reactive engine, graceful
+        horizon = windows * window_len
+        plan = FaultPlan([
+            NodeCrash(net.n - 1, horizon // 3),
+            LinkFailure(0, 1, horizon // 4, horizon // 2),
+            ObjectStall(0, horizon // 5, horizon // 5 + 2 * window_len),
+        ])
+        rng = spawn(seed, EXP_ID, net.topology.name, "faulty")
+        stream = PoissonStream(net, w=w, k=2, rate=0.4, rng=rng)
+        rep = run_service(
+            stream, windows=windows, config=cfg, plan=plan,
+            recorder=recorder,
+        )
+        assert rep.accounted
+        table.add(**_row(rep, net, "poisson+faults", 0.4))
+    table.add_note(
+        "Continuous-arrival service (repro.service), defer backpressure at "
+        "high-water 48, saturation detector horizon 6 / slope 0.4.  "
+        "Below saturation the backlog stays bounded (slope ~0, finite "
+        "p99 sojourn); above it the detector trips (saturated_at >= 0, "
+        "-1 means never) and the service sheds load instead of diverging. "
+        "Measured saturation points -- " + "; ".join(saturation_points) + ". "
+        "'mmpp' is bursty traffic at a stable mean rate; 'poisson+faults' "
+        "drives the reactive engine through a crash, a link failure, and "
+        "an object stall (losses are typed and accounted, never silent)."
+    )
+    attach_metrics_note(table, recorder)
+    return table

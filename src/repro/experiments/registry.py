@@ -18,7 +18,9 @@ the moment a module diverges instead of surfacing as a confusing
 from __future__ import annotations
 
 import inspect
+import re
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Mapping
 
 from ..analysis.tables import Table
@@ -43,6 +45,7 @@ from . import (
     e16_placement,
     e17_faults,
     e18_online_faults,
+    e19_stability,
 )
 
 __all__ = [
@@ -72,6 +75,7 @@ _MODULES = [
     e16_placement,
     e17_faults,
     e18_online_faults,
+    e19_stability,
 ]
 
 #: the exact parameter contract every experiment ``run`` must expose
@@ -111,6 +115,47 @@ def _validate_module(mod) -> ExperimentInfo:
         supports_recorder=bool(mod.SUPPORTS_RECORDER),
     )
 
+
+def _detect_drift(
+    filenames: list[str], registered_ids: set[str]
+) -> tuple[list[str], list[str]]:
+    """Pure drift check: experiment files on disk vs registered ids.
+
+    ``filenames`` are module basenames (``e19_stability.py``); returns
+    ``(unregistered, phantom)`` -- ids present on disk but missing from
+    the registry, and registered ids with no backing file.
+    """
+    on_disk = set()
+    for name in filenames:
+        m = re.match(r"(e\d+)_\w+\.py$", name)
+        if m:
+            on_disk.add(m.group(1))
+    unregistered = sorted(on_disk - registered_ids)
+    phantom = sorted(registered_ids - on_disk)
+    return unregistered, phantom
+
+
+def _check_registry_drift() -> None:
+    """Fail loudly at import if an experiment file is unregistered.
+
+    A new ``e<N>_*.py`` dropped into the package without a matching
+    ``_MODULES`` entry would otherwise silently vanish from sweeps, the
+    CLI, and CI -- the classic way an experiment rots.
+    """
+    pkg_dir = Path(__file__).parent
+    filenames = [p.name for p in pkg_dir.glob("e*.py")]
+    registered = {mod.EXP_ID for mod in _MODULES}
+    unregistered, phantom = _detect_drift(filenames, registered)
+    if unregistered or phantom:
+        raise ReproError(
+            "experiment registry drift: "
+            f"on disk but unregistered: {unregistered or 'none'}; "
+            f"registered but no file: {phantom or 'none'}. "
+            "Add the module to repro.experiments.registry._MODULES."
+        )
+
+
+_check_registry_drift()
 
 EXPERIMENT_INFO: Mapping[str, ExperimentInfo] = {
     mod.EXP_ID: _validate_module(mod) for mod in _MODULES

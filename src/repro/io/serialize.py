@@ -48,6 +48,8 @@ __all__ = [
     "load_fault_plan",
     "save_certificate",
     "load_certificate",
+    "save_report",
+    "load_report",
 ]
 
 _FORMAT_VERSION = 1
@@ -309,3 +311,26 @@ def load_certificate(path: str | Path):
     from ..staticcheck.certify import certificate_from_dict
 
     return certificate_from_dict(read_json(path, "certificate"))
+
+
+def save_report(report, path: str | Path) -> None:
+    """Write any registered report (metrics, degradation, service...) as
+    its versioned JSON envelope (see :mod:`repro.analysis.report`)."""
+    from ..analysis.report import report_to_json
+
+    Path(path).write_text(report_to_json(report))
+
+
+def load_report(path: str | Path):
+    """Read a report written by :func:`save_report`.
+
+    Dispatches on the envelope's ``kind`` through the report registry, so
+    the caller gets the right dataclass back without naming it.
+    """
+    from ..analysis.report import report_from_json
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot load {path}: {exc}") from exc
+    return report_from_json(text)

@@ -17,7 +17,6 @@ from ..core.instance import Instance
 from ..core.transaction import Transaction
 from ..errors import InstanceError
 from ..network.graph import Network
-from ..workloads.generators import homes_at_random_requesters
 
 __all__ = ["TimedTransaction", "OnlineWorkload", "poisson_workload"]
 
@@ -102,6 +101,10 @@ def poisson_workload(
         raise ValueError(f"need 1 <= k <= w, got k={k}, w={w}")
     if rate <= 0:
         raise ValueError(f"rate must be positive, got {rate}")
+    # deferred: workloads.streams imports this module, and the workloads
+    # package initializes generators before streams, so a module-level
+    # import here would close an import cycle
+    from ..workloads.generators import homes_at_random_requesters
     nodes = rng.choice(net.n, size=count, replace=False)
     t = 0
     arrivals = []

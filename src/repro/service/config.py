@@ -1,0 +1,159 @@
+"""Service configuration: one validated knob set for the whole loop.
+
+:class:`ServiceConfig` bundles every robustness policy the service
+applies -- window length, backpressure watermarks and admission policy,
+per-transaction deadlines, the bounded retry policy for failed windows,
+and the saturation detector's regression parameters.  Validation happens
+at construction so a bad configuration fails before the first window,
+not three thousand windows in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ServiceError
+from ..faults.backoff import RetryPolicy
+
+__all__ = ["ServiceConfig"]
+
+_ADMISSION_POLICIES = ("defer", "shed", "strict")
+_EXPIRY_POLICIES = ("drop", "strict")
+_SATURATION_POLICIES = ("shed", "strict")
+_ENGINES = ("auto", "batch", "reactive")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Validated configuration for :class:`~repro.service.SchedulingService`.
+
+    Parameters
+    ----------
+    window:
+        Arrival-window length in time steps; each window's arrivals are
+        batched and scheduled together.
+    high_water / low_water:
+        Backpressure watermarks on the backlog (pending + deferred).
+        Admission closes when the backlog reaches ``high_water`` and --
+        hysteresis -- reopens only once it drains below ``low_water``
+        (default ``high_water // 2``).
+    policy:
+        What a closed gate does with a release: ``"defer"`` queues it
+        FIFO (nothing lost), ``"shed"`` refuses it permanently with a
+        typed reason, ``"strict"`` raises
+        :class:`~repro.errors.OverloadError`.
+    deadline:
+        Optional max sojourn (steps since release) before a waiting
+        transaction expires; ``None`` disables expiry.
+    on_expiry:
+        ``"drop"`` counts the expiry in the report; ``"strict"`` raises
+        :class:`~repro.errors.DeadlineExpiredError`.
+    retry:
+        Bounded deterministic backoff applied both *inside* windows (hop
+        retries in the reactive engine) and *across* windows: a window
+        whose execution hits an unabsorbable fault returns its batch to
+        the backlog and backs off ``retry.wait(attempt)`` windows; a
+        transaction exceeding ``retry.max_retries`` failed windows is
+        dropped with a typed reason.
+    detector_horizon / slope_threshold / min_backlog:
+        The saturation detector's sliding regression: over the last
+        ``detector_horizon`` windows, a backlog-growth slope above
+        ``slope_threshold`` (transactions per window) with the backlog at
+        or above ``min_backlog`` (default ``high_water // 2``) declares
+        saturation.
+    on_saturation:
+        ``"shed"`` flips the service into load-shedding mode until the
+        backlog drains; ``"strict"`` raises
+        :class:`~repro.errors.SaturationError`.
+    engine:
+        ``"batch"`` schedules each window through the
+        :func:`repro.schedule` facade and replays it; ``"reactive"``
+        drives each window through the fault-aware
+        :func:`~repro.online.run_resilient` runtime; ``"auto"`` (default)
+        picks ``batch`` for fault-free service and ``reactive`` once a
+        fault plan is attached.
+    algo / kernel:
+        Forwarded to :func:`repro.schedule` by the batch engine.
+    """
+
+    window: int = 16
+    high_water: int = 64
+    low_water: Optional[int] = None
+    policy: str = "defer"
+    deadline: Optional[int] = None
+    on_expiry: str = "drop"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    detector_horizon: int = 8
+    slope_threshold: float = 0.5
+    min_backlog: Optional[int] = None
+    on_saturation: str = "shed"
+    engine: str = "auto"
+    algo: str = "auto"
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ServiceError(f"window must be >= 1, got {self.window}")
+        if self.high_water < 1:
+            raise ServiceError(
+                f"high_water must be >= 1, got {self.high_water}"
+            )
+        if self.low_water is not None and not (
+            0 <= self.low_water <= self.high_water
+        ):
+            raise ServiceError(
+                f"low_water must be in [0, high_water], got {self.low_water}"
+            )
+        if self.policy not in _ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {self.policy!r}; choose from "
+                f"{_ADMISSION_POLICIES}"
+            )
+        if self.deadline is not None and self.deadline < 1:
+            raise ServiceError(
+                f"deadline must be >= 1 steps, got {self.deadline}"
+            )
+        if self.on_expiry not in _EXPIRY_POLICIES:
+            raise ServiceError(
+                f"unknown expiry policy {self.on_expiry!r}; choose from "
+                f"{_EXPIRY_POLICIES}"
+            )
+        if self.detector_horizon < 2:
+            raise ServiceError(
+                f"detector_horizon must be >= 2, got {self.detector_horizon}"
+            )
+        if self.slope_threshold <= 0:
+            raise ServiceError(
+                f"slope_threshold must be positive, got "
+                f"{self.slope_threshold}"
+            )
+        if self.min_backlog is not None and self.min_backlog < 1:
+            raise ServiceError(
+                f"min_backlog must be >= 1, got {self.min_backlog}"
+            )
+        if self.on_saturation not in _SATURATION_POLICIES:
+            raise ServiceError(
+                f"unknown saturation policy {self.on_saturation!r}; choose "
+                f"from {_SATURATION_POLICIES}"
+            )
+        if self.engine not in _ENGINES:
+            raise ServiceError(
+                f"unknown engine {self.engine!r}; choose from {_ENGINES}"
+            )
+
+    @property
+    def effective_low_water(self) -> int:
+        """The hysteresis reopen mark (``low_water`` or half the high)."""
+        return (
+            self.low_water if self.low_water is not None
+            else self.high_water // 2
+        )
+
+    @property
+    def effective_min_backlog(self) -> int:
+        """The detector's arming floor (``min_backlog`` or half the high)."""
+        return (
+            self.min_backlog if self.min_backlog is not None
+            else max(1, self.high_water // 2)
+        )

@@ -1,0 +1,111 @@
+"""Online saturation detection: a queue-growth regression with hysteresis.
+
+Stability theory (Busch et al., arXiv:2208.07359) says a windowed greedy
+scheduler keeps queues bounded for injection rates below a
+topology-dependent saturation point and lets them diverge above it.  The
+detector watches the *measured* backlog: an ordinary-least-squares slope
+over the last ``horizon`` windows.  A sustained positive slope with the
+backlog above an arming floor trips the detector *before* the queue
+diverges; it clears only when the backlog has drained back below the
+floor (hysteresis -- a tripped detector in shed mode sees a flat queue,
+and clearing on slope alone would flap).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import ServiceError
+
+__all__ = ["SaturationDetector"]
+
+
+class SaturationDetector:
+    """Sliding-horizon least-squares slope over backlog observations.
+
+    ``observe`` feeds one backlog sample per window and returns the
+    detector state (``"nominal"`` or ``"saturated"``).  The detector is
+    pure arithmetic over its inputs -- deterministic, no clocks, no
+    randomness -- so same-seed service runs always trip at the same
+    window.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 8,
+        slope_threshold: float = 0.5,
+        min_backlog: int = 8,
+    ) -> None:
+        if horizon < 2:
+            raise ServiceError(f"horizon must be >= 2, got {horizon}")
+        if slope_threshold <= 0:
+            raise ServiceError(
+                f"slope_threshold must be positive, got {slope_threshold}"
+            )
+        if min_backlog < 1:
+            raise ServiceError(
+                f"min_backlog must be >= 1, got {min_backlog}"
+            )
+        self.horizon = int(horizon)
+        self.slope_threshold = float(slope_threshold)
+        self.min_backlog = int(min_backlog)
+        self._samples: Deque[int] = deque(maxlen=self.horizon)
+        self._observed = 0
+        self.state = "nominal"
+        self.tripped_at: Optional[int] = None  # window index of first trip
+        self.trips = 0
+
+    @property
+    def saturated(self) -> bool:
+        """True while the detector is in the ``"saturated"`` state."""
+        return self.state == "saturated"
+
+    def slope(self) -> float:
+        """OLS slope of backlog vs window index over the current horizon.
+
+        Returns 0.0 until the horizon has filled -- the detector never
+        rules on partial evidence.
+        """
+        n = len(self._samples)
+        if n < self.horizon:
+            return 0.0
+        xs = range(n)
+        mean_x = (n - 1) / 2.0
+        mean_y = sum(self._samples) / n
+        num = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, self._samples)
+        )
+        den = sum((x - mean_x) ** 2 for x in xs)
+        return num / den
+
+    def observe(self, backlog: int) -> str:
+        """Feed one per-window backlog sample; returns the new state."""
+        if backlog < 0:
+            raise ServiceError(f"backlog must be >= 0, got {backlog}")
+        self._samples.append(int(backlog))
+        window_index = self._observed
+        self._observed += 1
+        if self.state == "nominal":
+            if (
+                backlog >= self.min_backlog
+                and self.slope() > self.slope_threshold
+            ):
+                self.state = "saturated"
+                self.trips += 1
+                if self.tripped_at is None:
+                    self.tripped_at = window_index
+        else:  # saturated: clear only once the queue has actually drained
+            if backlog < self.min_backlog:
+                self.state = "nominal"
+        return self.state
+
+    def snapshot(self) -> Tuple[str, float, int]:
+        """(state, current slope, samples observed) for reports."""
+        return (self.state, self.slope(), self._observed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SaturationDetector(state={self.state!r}, "
+            f"slope={self.slope():.3f}, observed={self._observed})"
+        )

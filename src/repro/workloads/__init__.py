@@ -1,4 +1,4 @@
-"""Workload generators and deterministic seeding."""
+"""Workload generators, arrival streams, and deterministic seeding."""
 
 from .generators import (
     homes_at_random_requesters,
@@ -9,6 +9,12 @@ from .generators import (
     zipf_k_subsets,
 )
 from .seeds import DEFAULT_SEED, root_rng, spawn
+from .streams import (
+    AdversarialStream,
+    ArrivalStream,
+    MMPPStream,
+    PoissonStream,
+)
 
 __all__ = [
     "random_k_subsets",
@@ -17,6 +23,10 @@ __all__ = [
     "partitioned_instance",
     "line_span_instance",
     "homes_at_random_requesters",
+    "ArrivalStream",
+    "PoissonStream",
+    "MMPPStream",
+    "AdversarialStream",
     "DEFAULT_SEED",
     "root_rng",
     "spawn",

@@ -27,6 +27,7 @@ SUBMODULES = [
     "repro.viz",
     "repro.experiments",
     "repro.obs",
+    "repro.service",
     "repro.staticcheck",
 ]
 

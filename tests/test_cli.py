@@ -219,3 +219,30 @@ class TestScheduleKernelFlag:
                 "schedule", "--topology", "clique", "--size", "8",
                 "--objects", "6", "--k", "2", "--kernel", kernel,
             ]) == 0
+
+
+class TestServiceCommand:
+    def test_service_runs_and_reports(self, capsys):
+        rc = main([
+            "service", "--topology", "grid", "--size", "4",
+            "--rate", "0.5", "--windows", "20", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service[batch]" in out
+        assert "committed" in out
+
+    def test_service_json_round_trips(self, tmp_path, capsys):
+        from repro.io import load_report
+        from repro.service import ServiceReport
+
+        out = tmp_path / "svc.json"
+        rc = main([
+            "service", "--topology", "clique", "--size", "8",
+            "--stream", "adversarial", "--rate", "0.4", "--burst", "3",
+            "--windows", "15", "--json", str(out),
+        ])
+        assert rc == 0
+        rep = load_report(out)
+        assert isinstance(rep, ServiceReport)
+        assert rep.accounted

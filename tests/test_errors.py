@@ -3,13 +3,16 @@
 import pytest
 
 from repro.errors import (
+    DeadlineExpiredError,
     FaultError,
     GraphError,
     InfeasibleScheduleError,
     InstanceError,
     RecoveryError,
     ReproError,
+    SaturationError,
     SchedulingError,
+    ServiceError,
     TopologyError,
 )
 
@@ -25,12 +28,24 @@ class TestHierarchy:
             SchedulingError,
             FaultError,
             RecoveryError,
+            ServiceError,
+            DeadlineExpiredError,
+            SaturationError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
         with pytest.raises(ReproError):
             raise exc("boom")
+
+    def test_service_errors_form_a_sub_hierarchy(self):
+        # one except ServiceError clause catches every service failure
+        assert issubclass(DeadlineExpiredError, ServiceError)
+        assert issubclass(SaturationError, ServiceError)
+        with pytest.raises(ServiceError):
+            raise DeadlineExpiredError("too slow")
+        with pytest.raises(ServiceError):
+            raise SaturationError("diverging")
 
     def test_recovery_error_is_a_fault_error(self):
         # callers handling fault-layer failures with one except clause

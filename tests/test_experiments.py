@@ -24,10 +24,10 @@ def tables():
 
 
 class TestRegistry:
-    def test_eighteen_experiments(self):
+    def test_nineteen_experiments(self):
         assert experiment_ids() == [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18",
+            "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19",
         ]
         assert set(EXPERIMENTS) == set(TITLES)
 
@@ -44,7 +44,7 @@ class TestRegistry:
             assert info.title == TITLES[eid]
             assert isinstance(info.supports_recorder, bool)
         # the instrumented runtimes' experiments must advertise support
-        for eid in ("e1", "e17", "e18"):
+        for eid in ("e1", "e17", "e18", "e19"):
             assert EXPERIMENT_INFO[eid].supports_recorder
 
     def test_normalized_run_signatures(self):
@@ -226,3 +226,52 @@ class TestClaims:
             ]
         for per in by_topo.values():
             assert per["walk-optimal"] <= per["random-requester"] + 0.25
+
+    def test_e19_stability_transition(self, tables):
+        rows = tables["e19"].rows
+        poisson = [r for r in rows if r["stream"] == "poisson"]
+        assert poisson, "e19 must sweep poisson rates"
+        low = min(poisson, key=lambda r: r["rate"])
+        high = max(poisson, key=lambda r: r["rate"])
+        # below saturation: bounded queue, detector silent
+        assert low["saturated_at"] == -1
+        assert low["mean_backlog"] < high["mean_backlog"]
+        # above saturation: detector trips and the service sheds
+        assert high["saturated_at"] >= 0
+        assert high["shed_frac"] > 0
+        # faulty rows degrade gracefully: losses typed, most work commits
+        for r in rows:
+            if r["stream"] == "poisson+faults":
+                assert r["commit_rate"] > 0.5
+                assert r["saturated_at"] == -1
+
+
+class TestRegistryDrift:
+    def test_current_registry_is_clean(self):
+        from repro.experiments.registry import _check_registry_drift
+
+        _check_registry_drift()  # must not raise on a consistent tree
+
+    def test_unregistered_file_detected(self):
+        from repro.experiments.registry import _detect_drift
+
+        unreg, phantom = _detect_drift(
+            ["e1_clique.py", "e99_rogue.py"], {"e1"}
+        )
+        assert unreg == ["e99"]
+        assert phantom == []
+
+    def test_phantom_registration_detected(self):
+        from repro.experiments.registry import _detect_drift
+
+        unreg, phantom = _detect_drift(["e1_clique.py"], {"e1", "e7"})
+        assert unreg == []
+        assert phantom == ["e7"]
+
+    def test_non_experiment_files_ignored(self):
+        from repro.experiments.registry import _detect_drift
+
+        unreg, phantom = _detect_drift(
+            ["registry.py", "common.py", "e2_hypercube.py"], {"e2"}
+        )
+        assert unreg == [] and phantom == []

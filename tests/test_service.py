@@ -1,0 +1,359 @@
+"""Tests for the continuous-arrival scheduling service.
+
+Covers the robustness contract end to end: watermark backpressure with
+hysteresis (defer / shed / strict), deadline expiry, bounded window retry
+under unabsorbable faults, crash handling with typed losses, saturation
+detection with shed-mode degradation, the conservation identity
+``committed + shed + expired + lost + final_backlog == released``,
+same-seed determinism, run_online commit parity on the empty plan,
+recorder bit-parity, and JSON round-trips through the report registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeadlineExpiredError,
+    OverloadError,
+    SaturationError,
+    ServiceError,
+)
+from repro.faults.backoff import RetryPolicy
+from repro.faults.plan import FaultPlan, LinkFailure, NodeCrash
+from repro.network import clique, grid, line
+from repro.obs import MemoryRecorder
+from repro.online import run_online
+from repro.online.arrivals import OnlineWorkload
+from repro.service import (
+    SaturationDetector,
+    SchedulingService,
+    ServiceConfig,
+    ServiceReport,
+    run_service,
+)
+from repro.service.loop import _Entry
+from repro.workloads import PoissonStream, spawn
+from repro.workloads.streams import ArrivalStream
+
+
+def _stream(net, rate, limit=None, key="svc", w=12, k=2):
+    return PoissonStream(net, w=w, k=k, rate=rate, rng=spawn(11, key),
+                         limit=limit)
+
+
+class _RoundRobinStream(PoissonStream):
+    """Poisson arrivals on distinct nodes (node = tid), for parity tests."""
+
+    def _draw_node(self):
+        return self._next_tid % self.network.n
+
+
+class _BurstOnceStream(ArrivalStream):
+    """A fixed burst at t=0: node i requests object 0 (homed at node 0)."""
+
+    def __init__(self, net, count, rng):
+        super().__init__(net, w=2, k=1, rng=rng, limit=count)
+        self.count = count
+        self.object_homes = {0: 0, 1: 0}
+
+    def _count_at(self, t):
+        return self.count if t == 0 else 0
+
+    def _draw_node(self):
+        return self._next_tid % self.network.n
+
+    def _draw_objects(self):
+        return (0,)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ServiceConfig()
+        assert cfg.effective_low_water == cfg.high_water // 2
+        assert cfg.effective_min_backlog == cfg.high_water // 2
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"window": 0},
+            {"high_water": 0},
+            {"low_water": 99, "high_water": 10},
+            {"policy": "bounce"},
+            {"deadline": 0},
+            {"on_expiry": "explode"},
+            {"detector_horizon": 1},
+            {"slope_threshold": 0.0},
+            {"min_backlog": 0},
+            {"on_saturation": "panic"},
+            {"engine": "quantum"},
+        ],
+    )
+    def test_bad_config_raises(self, kw):
+        with pytest.raises(ServiceError):
+            ServiceConfig(**kw)
+
+    def test_batch_engine_rejects_fault_plan(self):
+        s = _stream(grid(3), 0.3)
+        plan = FaultPlan([NodeCrash(0, 5)])
+        with pytest.raises(ServiceError, match="batch engine"):
+            SchedulingService(s, ServiceConfig(engine="batch"), plan=plan)
+
+    def test_auto_engine_picks_by_plan(self):
+        assert SchedulingService(_stream(grid(3), 0.3)).engine == "batch"
+        svc = SchedulingService(
+            _stream(grid(3), 0.3), plan=FaultPlan([NodeCrash(0, 5)])
+        )
+        assert svc.engine == "reactive"
+
+
+class TestSaturationDetector:
+    def test_flat_queue_never_trips(self):
+        det = SaturationDetector(horizon=4, slope_threshold=0.5, min_backlog=2)
+        for _ in range(20):
+            det.observe(5)
+        assert not det.saturated and det.trips == 0
+
+    def test_growth_below_floor_never_trips(self):
+        det = SaturationDetector(horizon=3, slope_threshold=0.1,
+                                 min_backlog=100)
+        for q in range(30):
+            det.observe(q)
+        assert not det.saturated
+
+    def test_linear_growth_trips_once_horizon_fills(self):
+        det = SaturationDetector(horizon=4, slope_threshold=0.5, min_backlog=4)
+        states = [det.observe(2 * i) for i in range(6)]
+        assert det.saturated
+        assert det.tripped_at is not None
+        # never rules before the horizon fills
+        assert all(s == "nominal" for s in states[:3])
+        # slope of 2i per window is exactly 2
+        assert det.slope() == pytest.approx(2.0)
+
+    def test_hysteresis_clears_only_after_drain(self):
+        det = SaturationDetector(horizon=3, slope_threshold=0.5, min_backlog=5)
+        for q in (5, 10, 15):
+            det.observe(q)
+        assert det.saturated
+        det.observe(15)  # flat but still high: stays tripped
+        assert det.saturated
+        det.observe(2)  # drained below the floor: clears
+        assert not det.saturated
+        assert det.trips == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ServiceError):
+            SaturationDetector(horizon=1)
+        det = SaturationDetector()
+        with pytest.raises(ServiceError):
+            det.observe(-1)
+
+
+class TestServiceBasics:
+    def test_finite_stream_drains_and_accounts(self):
+        rep = run_service(_stream(grid(4), 0.5, limit=30))
+        assert rep.released == 30
+        assert rep.committed == 30
+        assert rep.final_backlog == 0
+        assert rep.accounted
+        assert rep.sojourn_p99 >= rep.sojourn_p50 > 0
+
+    def test_same_seed_same_report(self):
+        rep1 = run_service(_stream(grid(4), 0.7, limit=40))
+        rep2 = run_service(_stream(grid(4), 0.7, limit=40))
+        assert rep1 == rep2
+
+    def test_unbounded_stream_requires_window_count(self):
+        with pytest.raises(ServiceError, match="window count"):
+            run_service(_stream(grid(4), 0.5))
+
+    def test_bad_window_count(self):
+        with pytest.raises(ServiceError):
+            run_service(_stream(grid(4), 0.5, limit=10), windows=0)
+
+    def test_incremental_windows_match_one_shot(self):
+        svc = SchedulingService(_stream(grid(4), 0.6, limit=30))
+        svc.run(windows=3)
+        rep_inc = svc.run()  # drain the rest
+        rep_one = run_service(_stream(grid(4), 0.6, limit=30))
+        assert rep_inc == rep_one
+
+    def test_report_json_round_trip(self):
+        rep = run_service(_stream(grid(4), 0.5, limit=20))
+        assert ServiceReport.from_json(rep.to_json()) == rep
+
+    def test_report_registered_and_dispatches(self):
+        from repro.analysis.report import REPORT_KINDS, report_from_json
+
+        rep = run_service(_stream(grid(4), 0.5, limit=20))
+        loaded = report_from_json(rep.to_json())
+        assert isinstance(loaded, ServiceReport) and loaded == rep
+        assert REPORT_KINDS["service"] is ServiceReport
+
+    def test_save_load_report(self, tmp_path):
+        from repro.io import load_report, save_report
+
+        rep = run_service(_stream(grid(4), 0.5, limit=20))
+        path = tmp_path / "svc.json"
+        save_report(rep, path)
+        assert load_report(path) == rep
+
+    def test_render_mentions_the_verdict(self):
+        rep = run_service(_stream(grid(4), 0.5, limit=20))
+        text = rep.render()
+        assert "never saturated" in text and "committed" in text
+
+
+class TestBackpressure:
+    def test_shed_bounds_the_backlog(self):
+        cfg = ServiceConfig(window=8, high_water=10, policy="shed",
+                            slope_threshold=100.0)
+        rep = run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
+                          windows=30, config=cfg)
+        assert rep.shed > 0
+        assert rep.peak_backlog <= 10
+        assert rep.accounted
+
+    def test_defer_loses_nothing(self):
+        # slope_threshold high enough that the detector never flips the
+        # service into shed mode: pure defer, every release kept
+        cfg = ServiceConfig(window=8, high_water=10, policy="defer",
+                            slope_threshold=1000.0)
+        rep = run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
+                          windows=30, config=cfg)
+        assert rep.shed == 0
+        assert rep.deferred_admissions > 0
+        assert rep.committed + rep.final_backlog == rep.released
+        assert rep.accounted
+
+    def test_strict_raises_overload(self):
+        cfg = ServiceConfig(window=8, high_water=4, policy="strict",
+                            slope_threshold=1000.0)
+        with pytest.raises(OverloadError):
+            run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
+                        windows=30, config=cfg)
+
+    def test_gate_hysteresis(self):
+        svc = SchedulingService(
+            _stream(grid(4), 0.5),
+            ServiceConfig(high_water=8, low_water=3),
+        )
+        dummy = [_Entry(None, 0) for _ in range(8)]
+        svc._backlog = list(dummy)
+        svc._update_gate()
+        assert not svc._gate_open  # closed at high water
+        svc._backlog = dummy[:5]
+        svc._update_gate()
+        assert not svc._gate_open  # still closed between the marks
+        svc._backlog = dummy[:2]
+        svc._update_gate()
+        assert svc._gate_open  # reopens only below low water
+
+
+class TestDeadlines:
+    def test_expiry_is_counted_not_silent(self):
+        cfg = ServiceConfig(window=8, high_water=16, deadline=20,
+                            slope_threshold=1000.0)
+        rep = run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
+                          windows=30, config=cfg)
+        assert rep.expired > 0
+        assert rep.accounted
+
+    def test_strict_expiry_raises(self):
+        cfg = ServiceConfig(window=8, high_water=16, deadline=10,
+                            on_expiry="strict", slope_threshold=1000.0)
+        with pytest.raises(DeadlineExpiredError):
+            run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
+                        windows=40, config=cfg)
+
+
+class TestFaults:
+    def test_crash_losses_are_typed_and_accounted(self):
+        net = grid(4)
+        plan = FaultPlan([NodeCrash(net.n - 1, 20)])
+        rep = run_service(_stream(net, 0.6, limit=50), plan=plan)
+        assert rep.engine == "reactive"
+        assert rep.lost > 0
+        assert rep.accounted
+        assert rep.committed + rep.lost == rep.released
+
+    def test_window_retry_backs_off_then_drops(self):
+        # a permanent partition on a line: object 0 lives across the cut,
+        # every window fails, retries back off, budget finally exhausts
+        net = line(4)
+        stream = _BurstOnceStream(net, count=3, rng=spawn(11, "burst"))
+        plan = FaultPlan([LinkFailure(1, 2, 0, None)])
+        cfg = ServiceConfig(
+            window=4,
+            retry=RetryPolicy(max_retries=2, max_wait=2),
+            slope_threshold=1000.0,
+        )
+        rep = run_service(stream, windows=30, config=cfg, plan=plan)
+        assert rep.window_retries > 0
+        assert rep.lost > 0  # retry budget exhausted, typed drop
+        assert rep.final_backlog == 0
+        assert rep.accounted
+
+    def test_empty_plan_reactive_commits_everything(self):
+        cfg = ServiceConfig(engine="reactive")
+        rep = run_service(_stream(grid(4), 0.5, limit=30), config=cfg)
+        assert rep.committed == rep.released == 30
+        assert rep.accounted
+
+
+class TestRunOnlineParity:
+    def test_commit_counts_match_run_online(self):
+        # same arrival sequence, empty plan, sub-saturation rate: the
+        # service commits exactly the transactions run_online commits
+        net = clique(12)
+        svc_stream = _RoundRobinStream(net, w=10, k=2, rate=0.4,
+                                       rng=spawn(11, "par"), limit=10)
+        ref_stream = _RoundRobinStream(net, w=10, k=2, rate=0.4,
+                                       rng=spawn(11, "par"), limit=10)
+        arrivals = ref_stream.take(10)
+        workload = OnlineWorkload(net, arrivals, ref_stream.object_homes)
+        healthy = run_online(workload)
+        rep = run_service(svc_stream, config=ServiceConfig(engine="reactive"))
+        assert rep.committed == len(healthy.schedule.commit_times) == 10
+        assert rep.released == workload.m
+        assert rep.lost == rep.shed == rep.expired == 0
+
+
+class TestRecorderParity:
+    def test_recording_never_changes_the_run(self):
+        rec = MemoryRecorder(meta={"run": "svc"})
+        rep_rec = run_service(_stream(grid(4), 0.7, limit=40), recorder=rec)
+        rep_plain = run_service(_stream(grid(4), 0.7, limit=40))
+        assert rep_rec == rep_plain  # bit parity
+        reg = rec.registry
+        assert reg.counter("service.windows").value == rep_rec.windows
+        assert reg.counter("service.commits").value == rep_rec.committed
+        assert any(e.kind == "commit" for e in rec.events)
+        assert any(e.kind == "admission" for e in rec.events)
+
+
+class TestSaturationBehavior:
+    def test_overload_trips_detector_and_sheds(self):
+        cfg = ServiceConfig(window=8, high_water=16, policy="defer",
+                            detector_horizon=4, slope_threshold=0.4)
+        rep = run_service(_stream(line(8), 3.0, key="hot", w=8, k=3),
+                          windows=40, config=cfg)
+        assert rep.saturated
+        assert rep.saturated_at is not None and rep.saturated_at >= 3
+        assert rep.shed_windows > 0
+        assert rep.shed > 0  # defer flipped to shed under saturation
+        assert rep.accounted
+
+    def test_strict_saturation_raises(self):
+        cfg = ServiceConfig(window=8, high_water=16, policy="defer",
+                            detector_horizon=4, slope_threshold=0.4,
+                            on_saturation="strict")
+        with pytest.raises(SaturationError):
+            run_service(_stream(line(8), 3.0, key="hot", w=8, k=3),
+                        windows=40, config=cfg)
+
+    def test_stable_rate_never_saturates(self):
+        rep = run_service(_stream(grid(4), 0.3), windows=50)
+        assert not rep.saturated
+        assert rep.final_slope < 0.5
+        assert rep.mean_backlog < 5

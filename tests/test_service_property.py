@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for admission and service accounting.
+
+The robustness contract is conservation: nothing the stream releases is
+ever silently dropped.  Two layers are exercised under arbitrary drawn
+policies:
+
+* :class:`repro.online.AdmissionControl` inside :func:`run_resilient`:
+  ``committed + lost + shed == released`` for any watermark and any
+  defer/shed interleaving (strict runs either satisfy the identity or
+  raise :class:`OverloadError` -- never a partial, silent result);
+* the :class:`repro.service.SchedulingService` loop: ``committed + shed
+  + expired + lost + final_backlog == released`` for any drawn window
+  length, watermarks, policy, deadline, and rate -- including runs that
+  saturate and flip into shed mode mid-stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OverloadError
+from repro.network import clique, grid, line
+from repro.online import AdmissionControl, poisson_workload, run_resilient
+from repro.service import ServiceConfig, run_service
+from repro.workloads import PoissonStream, root_rng, spawn
+
+_NETS = {"clique": clique(12), "grid": grid(4), "line": line(9)}
+
+
+@st.composite
+def admission_cases(draw):
+    topo = draw(st.sampled_from(sorted(_NETS)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    count = draw(st.integers(min_value=2, max_value=9))
+    high_water = draw(st.integers(min_value=1, max_value=10))
+    policy = draw(st.sampled_from(["defer", "shed", "strict"]))
+    return topo, seed, count, high_water, policy
+
+
+@given(admission_cases())
+@settings(max_examples=40, deadline=None)
+def test_admission_accounting_identity(case):
+    topo, seed, count, high_water, policy = case
+    net = _NETS[topo]
+    wl = poisson_workload(net, w=8, k=2, rate=1.0, count=count,
+                          rng=root_rng(seed))
+    admission = AdmissionControl(high_water, policy)
+    try:
+        res = run_resilient(wl, admission=admission)
+    except OverloadError:
+        assert policy == "strict"  # only strict may refuse by raising
+        return
+    rep = res.report
+    assert rep.committed + len(rep.lost) + len(rep.shed) == rep.released
+    assert rep.released == wl.m
+    # empty plan: nothing is ever *lost*, only shed
+    assert not rep.lost
+    # shed transactions never appear among the commits
+    shed_tids = {tid for tid, _ in rep.shed}
+    assert shed_tids.isdisjoint(res.commits)
+
+
+@st.composite
+def service_cases(draw):
+    topo = draw(st.sampled_from(sorted(_NETS)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rate = draw(st.sampled_from([0.3, 0.8, 2.0]))
+    window = draw(st.integers(min_value=2, max_value=12))
+    high_water = draw(st.integers(min_value=2, max_value=24))
+    policy = draw(st.sampled_from(["defer", "shed"]))
+    deadline = draw(st.sampled_from([None, 25, 60]))
+    windows = draw(st.integers(min_value=5, max_value=20))
+    return topo, seed, rate, window, high_water, policy, deadline, windows
+
+
+@given(service_cases())
+@settings(max_examples=25, deadline=None)
+def test_service_accounting_identity(case):
+    topo, seed, rate, window, high_water, policy, deadline, windows = case
+    net = _NETS[topo]
+    stream = PoissonStream(net, w=8, k=2, rate=rate,
+                           rng=spawn(seed, "prop", topo))
+    cfg = ServiceConfig(window=window, high_water=high_water, policy=policy,
+                        deadline=deadline)
+    rep = run_service(stream, windows=windows, config=cfg)
+    assert rep.accounted
+    assert rep.windows == windows
+    assert rep.admitted <= rep.released
+    assert len(rep.backlog_curve) == windows
+    assert rep.peak_backlog == max(rep.backlog_curve, default=0)

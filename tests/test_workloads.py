@@ -169,3 +169,136 @@ class TestHomes:
         homes = homes_at_random_requesters(txns, 2, root_rng(14))
         assert homes[0] in (3, 5)
         assert homes[1] == 0  # unused -> fallback node
+
+
+class TestGeneratorSeedDeterminism:
+    """Every generator is a pure function of its seeded rng."""
+
+    @staticmethod
+    def _same(a, b):
+        assert a.transactions == b.transactions
+        assert a.object_homes == b.object_homes
+
+    def _pair(self, build):
+        return build(root_rng(77)), build(root_rng(77))
+
+    def test_random_k_subsets(self):
+        net = clique(10)
+        self._same(*self._pair(lambda r: random_k_subsets(net, 8, 2, r)))
+
+    def test_zipf_k_subsets(self):
+        net = clique(10)
+        self._same(*self._pair(lambda r: zipf_k_subsets(net, 8, 2, r)))
+
+    def test_hot_object_instance(self):
+        net = clique(10)
+        self._same(*self._pair(lambda r: hot_object_instance(net, 8, 3, r)))
+
+    def test_partitioned_instance(self):
+        net = cluster(3, 4)
+        groups = [range(4), range(4, 8), range(8, 12)]
+        self._same(*self._pair(
+            lambda r: partitioned_instance(net, groups, 3, 2, 0.25, r)
+        ))
+
+    def test_line_span_instance(self):
+        net = line(12)
+        self._same(*self._pair(
+            lambda r: line_span_instance(net, 6, 2, 3, r)
+        ))
+
+    def test_homes_at_random_requesters(self):
+        from repro.core import Transaction
+
+        txns = [Transaction(0, 3, {0, 1}), Transaction(1, 5, {0})]
+        h1 = homes_at_random_requesters(txns, 3, root_rng(21))
+        h2 = homes_at_random_requesters(txns, 3, root_rng(21))
+        assert h1 == h2
+
+
+class TestArrivalStreams:
+    def _nets(self):
+        return clique(8)
+
+    def test_poisson_stream_deterministic(self):
+        from repro.workloads import PoissonStream
+
+        net = self._nets()
+        a = PoissonStream(net, w=6, k=2, rate=0.8, rng=spawn(5, "p"))
+        b = PoissonStream(net, w=6, k=2, rate=0.8, rng=spawn(5, "p"))
+        assert a.object_homes == b.object_homes
+        assert a.window(0, 40) == b.window(0, 40)
+
+    def test_mmpp_stream_deterministic_and_bursty(self):
+        from repro.workloads import MMPPStream
+
+        net = self._nets()
+        mk = lambda: MMPPStream(net, w=6, k=2, rate_low=0.1, rate_high=3.0,
+                                switch=0.05, rng=spawn(5, "m"))
+        a, b = mk(), mk()
+        assert a.window(0, 120) == b.window(0, 120)
+
+    def test_adversarial_stream_deterministic(self):
+        from repro.workloads import AdversarialStream
+
+        net = self._nets()
+        mk = lambda: AdversarialStream(net, w=6, k=2, rho=0.5, burst=3,
+                                       rng=spawn(5, "a"))
+        a, b = mk(), mk()
+        assert a.window(0, 60) == b.window(0, 60)
+
+    def test_adversarial_rho_b_bound(self):
+        from repro.workloads import AdversarialStream
+
+        net = self._nets()
+        s = AdversarialStream(net, w=6, k=2, rho=0.7, burst=5,
+                              rng=spawn(5, "bound"))
+        times = [a.release for a in s.window(0, 100)]
+        assert times, "adversary must inject something"
+        # (rho, b)-bounded: every interval I carries <= rho*|I| + b
+        for i in range(len(times)):
+            for j in range(i, len(times)):
+                span = times[j] - times[i] + 1
+                assert (j - i + 1) <= 0.7 * span + 5 + 1e-9
+
+    def test_adversarial_maximizes_contention(self):
+        from repro.workloads import AdversarialStream
+
+        net = self._nets()
+        s = AdversarialStream(net, w=6, k=2, rho=0.5, burst=4,
+                              rng=spawn(5, "hot"))
+        arrivals = s.window(0, 40)
+        assert all(0 in a.txn.objects for a in arrivals)  # hot object
+
+    def test_windows_must_be_contiguous(self):
+        from repro.errors import InstanceError
+        from repro.workloads import PoissonStream
+
+        s = PoissonStream(self._nets(), w=6, k=2, rate=1.0,
+                          rng=spawn(5, "c"))
+        s.window(0, 10)
+        with pytest.raises(InstanceError, match="contiguous"):
+            s.window(20, 30)
+
+    def test_limit_and_take(self):
+        from repro.workloads import PoissonStream
+
+        s = PoissonStream(self._nets(), w=6, k=2, rate=1.0,
+                          rng=spawn(5, "t"), limit=7)
+        got = s.take(100)
+        assert len(got) == 7
+        assert s.exhausted
+        assert [a.txn.tid for a in got] == list(range(7))
+
+    def test_stream_validation(self):
+        from repro.errors import InstanceError
+        from repro.workloads import MMPPStream, PoissonStream
+
+        net = self._nets()
+        with pytest.raises(InstanceError):
+            PoissonStream(net, w=2, k=5, rate=1.0, rng=spawn(5, "v"))
+        with pytest.raises(InstanceError):
+            PoissonStream(net, w=4, k=2, rate=0.0, rng=spawn(5, "v"))
+        with pytest.raises(InstanceError):
+            MMPPStream(net, w=4, k=2, rate_low=2.0, rate_high=1.0,
+                       switch=0.5, rng=spawn(5, "v"))
