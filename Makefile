@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo service-demo clean
+.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo service-demo cluster-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -62,6 +62,16 @@ service-demo:
 		--rate 3.0 --windows 40 --high-water 24 --seed 7
 	PYTHONPATH=src $(PYTHON) -m repro service --topology clique --size 16 \
 		--stream adversarial --rate 0.6 --burst 4 --windows 40 --seed 7
+
+# the crash-tolerant multi-process cluster: a clean run, then the same
+# run with an injected worker kill -- --parity asserts the recovered
+# run's outcome is bit-identical to the fault-free one
+cluster-demo:
+	PYTHONPATH=src $(PYTHON) -m repro cluster --topology grid --size 3 \
+		--workers 3 --windows 12 --rate 0.6 --seed 7
+	PYTHONPATH=src $(PYTHON) -m repro cluster --topology grid --size 3 \
+		--workers 3 --windows 12 --rate 0.6 --seed 7 \
+		--chaos kill --parity
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

@@ -29,6 +29,7 @@ from . import (
     analysis,
     baselines,
     bounds,
+    cluster,
     controlflow,
     core,
     faults,
@@ -42,7 +43,7 @@ from . import (
     viz,
     workloads,
 )
-from .errors import FaultError, RecoveryError, ReproError
+from .errors import ClusterError, FaultError, RecoveryError, ReproError
 from .placement import median_node, optimize_homes
 from .core import (
     SCHEDULER_INFO,
@@ -64,6 +65,7 @@ __all__ = [
     "analysis",
     "baselines",
     "bounds",
+    "cluster",
     "controlflow",
     "core",
     "faults",
@@ -79,6 +81,7 @@ __all__ = [
     "ReproError",
     "FaultError",
     "RecoveryError",
+    "ClusterError",
     "Transaction",
     "Instance",
     "Schedule",

@@ -146,6 +146,7 @@ def report_from_json(text: str) -> Any:
 def _ensure_kinds_registered() -> None:
     """Import the modules that define report classes (idempotent)."""
     from . import metrics  # noqa: F401
+    from ..cluster import report as _cluster_report  # noqa: F401
     from ..faults import report as _faults_report  # noqa: F401
     from ..online import report as _online_report  # noqa: F401
     from ..service import report as _service_report  # noqa: F401

@@ -220,6 +220,80 @@ def _cmd_service(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from .cluster import (
+        ChaosPlan,
+        ClusterConfig,
+        StreamSpec,
+        WorkerDelay,
+        WorkerKill,
+        WorkerStall,
+        run_cluster,
+    )
+    from .errors import ReproError
+    from .faults.backoff import RetryPolicy
+    from .service import ServiceConfig
+
+    events = []
+    for spec in args.chaos or []:
+        parts = spec.split(":")
+        kind = parts[0]
+        worker = int(parts[1]) if len(parts) > 1 else min(1, args.workers - 1)
+        window = int(parts[2]) if len(parts) > 2 else max(1, args.windows // 2)
+        if kind == "kill":
+            events.append(WorkerKill(worker, window))
+        elif kind == "stall":
+            events.append(WorkerStall(
+                worker, window, seconds=args.heartbeat_timeout * 20
+            ))
+        elif kind == "delay":
+            events.append(WorkerDelay(
+                worker, window, seconds=args.heartbeat_timeout / 10
+            ))
+        else:
+            raise ReproError(
+                f"unknown chaos spec {spec!r}; use kind[:worker[:window]] "
+                f"with kind in kill/stall/delay"
+            )
+    stream = StreamSpec(
+        kind=args.stream, w=args.objects, k=args.k, rate=args.rate,
+        rate_low=args.rate / 4, rate_high=args.rate * 2, burst=args.burst,
+        seed=args.seed,
+    )
+    svc = ServiceConfig(window=args.window, high_water=args.high_water)
+    config = ClusterConfig(
+        workers=args.workers,
+        windows=args.windows,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        restart=RetryPolicy(max_retries=args.max_restarts, max_wait=4),
+        restart_backoff_s=0.02,
+        checkpoint_every=args.checkpoint_every,
+        on_crash=args.on_crash,
+        on_straggler=args.on_straggler,
+    )
+    report = run_cluster(
+        args.topology, args.size, args.size2, stream, svc, config,
+        chaos=ChaosPlan(events),
+    )
+    print(report.render())
+    status = 0
+    if args.parity:
+        baseline = run_cluster(
+            args.topology, args.size, args.size2, stream, svc, config,
+        )
+        match = baseline.parity_key() == report.parity_key()
+        print(
+            "parity with fault-free run: " + ("OK" if match else "MISMATCH")
+        )
+        status = 0 if match else 1
+    if args.json:
+        from .io import save_report
+
+        save_report(report, args.json)
+        print(f"cluster report written to {args.json}")
+    return status
+
+
 def _cmd_figures(args) -> int:
     from .core import GridScheduler
     from .network import cluster, grid, lower_bound_grid, lower_bound_tree, star
@@ -411,7 +485,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p_run = sub.add_parser("run", help="run experiment tables")
-    p_run.add_argument("experiments", nargs="+", help="e1..e19 or 'all'")
+    p_run.add_argument("experiments", nargs="+", help="e1..e20 or 'all'")
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--markdown", action="store_true")
@@ -425,7 +499,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep = sub.add_parser(
         "sweep", help="run experiments x seeds across worker processes"
     )
-    p_sweep.add_argument("experiments", nargs="+", help="e1..e19 or 'all'")
+    p_sweep.add_argument("experiments", nargs="+", help="e1..e20 or 'all'")
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0],
                          metavar="S", help="seeds to sweep (default: 0)")
     p_sweep.add_argument("--workers", type=int, default=1,
@@ -510,6 +584,55 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the service report JSON envelope")
     p_svc.set_defaults(func=_cmd_service)
 
+    p_cl = sub.add_parser(
+        "cluster",
+        help="run the supervised multi-process scheduling cluster",
+    )
+    p_cl.add_argument("--topology", default="grid")
+    p_cl.add_argument("--size", type=int, default=3,
+                      help="n / side / dim / alpha (per topology)")
+    p_cl.add_argument("--size2", type=int, default=None,
+                      help="cols / beta / ray length where applicable")
+    p_cl.add_argument("--workers", type=int, default=2,
+                      help="worker processes (one tid residue class each)")
+    p_cl.add_argument("--stream", default="poisson",
+                      choices=["poisson", "mmpp", "adversarial"])
+    p_cl.add_argument("--rate", type=float, default=0.5,
+                      help="arrival rate (poisson/mmpp mean; rho for "
+                           "adversarial)")
+    p_cl.add_argument("--burst", type=int, default=4,
+                      help="adversarial burst bound b")
+    p_cl.add_argument("--objects", type=int, default=16)
+    p_cl.add_argument("--k", type=int, default=2)
+    p_cl.add_argument("--windows", type=int, default=12,
+                      help="arrival windows each worker runs")
+    p_cl.add_argument("--window", type=int, default=16,
+                      help="window length in steps")
+    p_cl.add_argument("--high-water", type=int, default=64,
+                      help="backpressure high-water mark")
+    p_cl.add_argument("--chaos", action="append", default=None,
+                      metavar="KIND[:WORKER[:WINDOW]]",
+                      help="inject a chaos event (kill/stall/delay); "
+                           "repeatable; defaults: worker 1, mid-run window")
+    p_cl.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                      help="seconds of silence before a worker is a "
+                           "straggler")
+    p_cl.add_argument("--max-restarts", type=int, default=3,
+                      help="per-worker restart budget before retirement")
+    p_cl.add_argument("--checkpoint-every", type=int, default=8,
+                      help="windows between full state checkpoints")
+    p_cl.add_argument("--on-crash", default="restart",
+                      choices=["restart", "strict"])
+    p_cl.add_argument("--on-straggler", default="restart",
+                      choices=["restart", "shed", "strict"])
+    p_cl.add_argument("--parity", action="store_true",
+                      help="also run fault-free and verify the chaos run's "
+                           "parity_key matches (exit 1 on mismatch)")
+    p_cl.add_argument("--seed", type=int, default=0)
+    p_cl.add_argument("--json", default=None, metavar="FILE",
+                      help="write the cluster report JSON envelope")
+    p_cl.set_defaults(func=_cmd_cluster)
+
     p_lint = sub.add_parser(
         "lint", help="static determinism/invariant lint over source trees"
     )
@@ -558,7 +681,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="full sweeps (default: quick)")
     p_rep.add_argument("--json", default=None, metavar="FILE",
                        help="also write every table as JSON")
-    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e19")
+    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e20")
     p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,43 @@
+"""Crash-tolerant multi-process scheduling cluster.
+
+A supervisor (:func:`run_cluster`) forks N worker processes, each
+running a :class:`~repro.service.SchedulingService` over a deterministic
+residue-class shard of the shared arrival stream, and keeps the fleet
+healthy: heartbeat liveness detection, bounded deterministic restarts
+(:class:`~repro.faults.backoff.RetryPolicy`), per-worker write-ahead
+window journals with checkpoints so a crashed worker replays exactly
+where it left off, straggler shedding with ownership handoff, and
+deterministic chaos injection (:class:`ChaosPlan`) to prove all of it.
+
+The headline guarantee: a run with injected kills commits the same
+transaction set as the fault-free run -- the merged
+:class:`ClusterReport`'s :meth:`~ClusterReport.parity_key` is
+bit-identical -- and the cluster-wide conservation identity
+``committed + shed + expired + lost + final_backlog == released``
+holds exactly under every supported failure mode.
+"""
+
+from .chaos import ChaosPlan, WorkerDelay, WorkerKill, WorkerStall
+from .config import ClusterConfig, build_network
+from .journal import WindowJournal, accounting_digest
+from .report import ClusterReport
+from .shard import ShardedStream, StreamSpec
+from .supervisor import run_cluster
+from .worker import WorkerSpec, worker_main
+
+__all__ = [
+    "ChaosPlan",
+    "ClusterConfig",
+    "ClusterReport",
+    "ShardedStream",
+    "StreamSpec",
+    "WindowJournal",
+    "WorkerDelay",
+    "WorkerKill",
+    "WorkerSpec",
+    "WorkerStall",
+    "accounting_digest",
+    "build_network",
+    "run_cluster",
+    "worker_main",
+]

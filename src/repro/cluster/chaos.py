@@ -1,0 +1,154 @@
+"""Deterministic chaos injection for the worker cluster.
+
+A :class:`ChaosPlan` is the process-level sibling of the runtime
+:class:`~repro.faults.plan.FaultPlan`: a declarative list of events,
+each pinned to a ``(worker, window)`` coordinate, validated up front,
+and injected at a deterministic point in the worker's loop (immediately
+before it executes that window).  Because every event fires at a known
+window boundary, the *outcome* of recovery is deterministic even though
+the supervisor's detection latency is wall-clock: a killed worker always
+restarts from its journal at exactly the window it died on, so the
+cluster commits the same transaction set as the fault-free run.
+
+Three event kinds cover the failure modes the supervisor must survive:
+
+* :class:`WorkerKill` -- the process dies instantly (``os._exit``), no
+  goodbye message, simulating a crash/OOM-kill;
+* :class:`WorkerStall` -- the process sleeps past the heartbeat timeout,
+  simulating a livelocked or GC-wedged worker (straggler);
+* :class:`WorkerDelay` -- a short sleep *below* the heartbeat timeout,
+  simulating transient slowness that must NOT trigger recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple, Union
+
+from ..errors import ClusterError
+
+__all__ = ["WorkerKill", "WorkerStall", "WorkerDelay", "ChaosPlan"]
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Kill worker ``worker`` immediately before it executes ``window``."""
+
+    worker: int
+    window: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-data form for reports and CLI echoes."""
+        return {"kind": "kill", "worker": self.worker, "window": self.window}
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """Stall worker ``worker`` for ``seconds`` before window ``window``.
+
+    Pick ``seconds`` well above the supervisor's heartbeat timeout (the
+    default effectively means "forever") so the straggler detector is
+    guaranteed to fire and the handling path is exercised.
+    """
+
+    worker: int
+    window: int
+    seconds: float = 3600.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-data form for reports and CLI echoes."""
+        return {
+            "kind": "stall",
+            "worker": self.worker,
+            "window": self.window,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class WorkerDelay:
+    """Delay worker ``worker`` by ``seconds`` before window ``window``.
+
+    Must stay below the heartbeat timeout: the point of a delay event is
+    proving the supervisor does *not* overreact to transient slowness.
+    """
+
+    worker: int
+    window: int
+    seconds: float = 0.1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-data form for reports and CLI echoes."""
+        return {
+            "kind": "delay",
+            "worker": self.worker,
+            "window": self.window,
+            "seconds": self.seconds,
+        }
+
+
+ChaosEvent = Union[WorkerKill, WorkerStall, WorkerDelay]
+
+
+class ChaosPlan:
+    """A validated, ordered set of chaos events for one cluster run.
+
+    Events are stored sorted by ``(window, worker, kind)`` so the plan's
+    serialized form is stable regardless of construction order.  At most
+    one event may target a given ``(worker, window)`` coordinate --
+    overlapping injections would make the fired/unfired bookkeeping on
+    restart ambiguous.
+    """
+
+    def __init__(self, events: Iterable[ChaosEvent] = ()) -> None:
+        evts = list(events)
+        for e in evts:
+            if not isinstance(e, (WorkerKill, WorkerStall, WorkerDelay)):
+                raise ClusterError(
+                    f"unknown chaos event type {type(e).__name__}"
+                )
+            if e.worker < 0:
+                raise ClusterError(f"chaos worker must be >= 0, got {e.worker}")
+            if e.window < 0:
+                raise ClusterError(f"chaos window must be >= 0, got {e.window}")
+            if isinstance(e, (WorkerStall, WorkerDelay)) and e.seconds <= 0:
+                raise ClusterError(
+                    f"chaos seconds must be positive, got {e.seconds}"
+                )
+        coords = [(e.worker, e.window) for e in evts]
+        if len(set(coords)) != len(coords):
+            dupes = sorted({c for c in coords if coords.count(c) > 1})
+            raise ClusterError(
+                f"chaos plan targets (worker, window) {dupes} more than once"
+            )
+        self.events: Tuple[ChaosEvent, ...] = tuple(
+            sorted(evts, key=lambda e: (e.window, e.worker, type(e).__name__))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate_against(self, workers: int, windows: int) -> None:
+        """Check every event targets a real worker and a real window."""
+        for e in self.events:
+            if e.worker >= workers:
+                raise ClusterError(
+                    f"chaos event targets worker {e.worker}, but the "
+                    f"cluster has workers 0..{workers - 1}"
+                )
+            if e.window >= windows:
+                raise ClusterError(
+                    f"chaos event targets window {e.window}, but the run "
+                    f"has windows 0..{windows - 1}"
+                )
+
+    def for_worker(self, worker: int) -> Tuple[ChaosEvent, ...]:
+        """The events aimed at one worker, in window order."""
+        return tuple(e for e in self.events if e.worker == worker)
+
+    def as_dicts(self) -> Tuple[Dict[str, Any], ...]:
+        """Plain-data form of every event (stable order)."""
+        return tuple(e.as_dict() for e in self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChaosPlan({list(self.events)!r})"

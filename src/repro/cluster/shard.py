@@ -1,0 +1,201 @@
+"""Deterministic arrival-stream sharding for cluster workers.
+
+Every worker owns a residue class of transaction ids: worker ``i`` of
+``N`` processes exactly the arrivals with ``tid % N == i``.  Rather
+than have the supervisor generate and ship arrivals (a bandwidth and
+ordering headache), each worker builds the *identical* base stream from
+the shared :class:`StreamSpec` -- same seed, same generator, same
+arrival sequence -- and filters it down to its residue classes with a
+:class:`ShardedStream`.  The shards are therefore disjoint, their union
+is exactly the unsharded sequence, and a restarted worker re-derives
+its slice from the spec alone (no arrival replay traffic).
+
+Ownership is windowed: ``owned_from`` maps each owned residue class to
+the first stream *step* the worker owns it from.  A replacement worker
+spawned after a straggler is shed takes over the retired worker's class
+from the handoff window onward (``owned_from = {c: handoff_step}``),
+so every arrival is owned by exactly one worker across the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ClusterError
+from ..network.graph import Network
+from ..online.arrivals import TimedTransaction
+from ..workloads.seeds import spawn
+from ..workloads.streams import (
+    AdversarialStream,
+    ArrivalStream,
+    MMPPStream,
+    PoissonStream,
+)
+
+__all__ = ["StreamSpec", "ShardedStream"]
+
+_STREAM_KINDS = ("poisson", "mmpp", "adversarial")
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A picklable recipe for one arrival process.
+
+    Workers rebuild their streams from this spec in their own process,
+    so it carries everything but the network: the process kind, the
+    object universe ``w`` and per-transaction object count ``k``, the
+    rate parameters, and the seed.  :meth:`build` is deterministic --
+    every call yields a stream producing the identical sequence.
+    """
+
+    kind: str = "poisson"
+    w: int = 16
+    k: int = 2
+    rate: float = 0.5
+    rate_low: float = 0.125
+    rate_high: float = 1.0
+    switch: float = 0.1
+    burst: int = 4
+    seed: int = 0
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _STREAM_KINDS:
+            raise ClusterError(
+                f"unknown stream kind {self.kind!r}; choose from "
+                f"{_STREAM_KINDS}"
+            )
+
+    def build(self, net: Network) -> ArrivalStream:
+        """Construct the base (unsharded) stream on ``net``."""
+        rng = spawn(self.seed, "cluster-stream", self.kind)
+        if self.kind == "poisson":
+            return PoissonStream(
+                net, w=self.w, k=self.k, rate=self.rate, rng=rng,
+                limit=self.limit,
+            )
+        if self.kind == "mmpp":
+            return MMPPStream(
+                net, w=self.w, k=self.k, rate_low=self.rate_low,
+                rate_high=self.rate_high, switch=self.switch, rng=rng,
+                limit=self.limit,
+            )
+        return AdversarialStream(
+            net, w=self.w, k=self.k, rho=self.rate, burst=self.burst,
+            rng=rng, limit=self.limit,
+        )
+
+
+class ShardedStream:
+    """A residue-class filter over a base :class:`ArrivalStream`.
+
+    Duck-types the stream surface the
+    :class:`~repro.service.SchedulingService` consumes (``network``,
+    ``object_homes``, ``limit``, ``exhausted``, ``window``,
+    ``released``); generation is delegated to the base stream so the
+    underlying draw order -- and hence determinism -- is untouched.
+    ``released`` counts only *owned* arrivals: a worker's service
+    accounts exactly its shard, and the supervisor's cross-worker sum
+    reconstructs the full stream's accounting identity.
+    """
+
+    def __init__(
+        self,
+        base: ArrivalStream,
+        shards: int,
+        owned_from: Dict[int, int],
+    ) -> None:
+        if shards < 1:
+            raise ClusterError(f"shards must be >= 1, got {shards}")
+        for residue, step in owned_from.items():
+            if not 0 <= residue < shards:
+                raise ClusterError(
+                    f"owned residue {residue} outside 0..{shards - 1}"
+                )
+            if step < 0:
+                raise ClusterError(
+                    f"ownership start step must be >= 0, got {step}"
+                )
+        self.base = base
+        self.shards = int(shards)
+        self.owned_from = {int(c): int(s) for c, s in owned_from.items()}
+        self._released = 0
+
+    # ------------------------------------------------------------------ #
+    # the stream surface the service consumes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def network(self) -> Network:
+        """The base stream's network."""
+        return self.base.network
+
+    @property
+    def object_homes(self) -> Dict[int, int]:
+        """The base stream's object homes (identical across workers)."""
+        return self.base.object_homes
+
+    @property
+    def limit(self) -> Optional[int]:
+        """The base stream's total-arrival limit (shared, not per-shard)."""
+        return self.base.limit
+
+    @property
+    def exhausted(self) -> bool:
+        """True iff the base stream has released its full limit."""
+        return self.base.exhausted
+
+    @property
+    def released(self) -> int:
+        """Owned arrivals released through this shard so far."""
+        return self._released
+
+    def owns(self, tid: int, release: int) -> bool:
+        """True iff this shard owns transaction ``tid`` released at ``release``."""
+        start = self.owned_from.get(tid % self.shards)
+        return start is not None and release >= start
+
+    def window(self, start: int, end: int) -> List[TimedTransaction]:
+        """Owned arrivals in ``[start, end)``; unowned draws are discarded.
+
+        The base stream still generates every arrival (keeping the
+        generator aligned across all workers); this shard keeps only the
+        residue classes it owns at each release step.
+        """
+        kept = [
+            tt
+            for tt in self.base.window(start, end)
+            if self.owns(tt.txn.tid, tt.release)
+        ]
+        self._released += len(kept)
+        return kept
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot: base stream state plus shard bookkeeping."""
+        return {
+            "base": self.base.state_dict(),
+            "released": self._released,
+            "shards": self.shards,
+            "owned_from": {str(c): s for c, s in self.owned_from.items()},
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.base.load_state(state["base"])  # type: ignore[arg-type]
+        self._released = int(state["released"])  # type: ignore[arg-type]
+        self.shards = int(state["shards"])  # type: ignore[arg-type]
+        self.owned_from = {
+            int(c): int(s)
+            for c, s in state["owned_from"].items()  # type: ignore[union-attr]
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStream(shards={self.shards}, "
+            f"owned_from={self.owned_from}, released={self._released})"
+        )

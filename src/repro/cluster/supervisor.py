@@ -1,0 +1,453 @@
+"""The cluster supervisor: fork, watch, restart, merge.
+
+:func:`run_cluster` forks one worker process per residue class of the
+shared arrival stream, then runs a single event loop over the workers'
+pipes and process sentinels:
+
+* every ``cluster_window`` message is both a result and a heartbeat --
+  it advances the worker's journaled-progress watermark and resets its
+  liveness clock;
+* a dead process (sentinel fired, no ``cluster_done``) is a **crash**:
+  within the per-worker :class:`~repro.faults.backoff.RetryPolicy`
+  budget the worker is restarted -- after a deterministic backoff --
+  from its journal, with already-fired chaos events stripped so an
+  injected kill cannot re-fire after replay; past the budget it is
+  retired with its queued work counted ``lost`` (or, under
+  ``on_crash="strict"``, :class:`~repro.errors.WorkerCrashError`);
+* a silent-but-alive process past ``heartbeat_timeout_s`` is a
+  **straggler**: killed and restarted from its journal
+  (``on_straggler="restart"``), or shed -- its journaled backlog counted
+  ``shed`` and a replacement worker spawned owning its residue class
+  from the stall window onward (``"shed"``), or escalated
+  (``"strict"``, :class:`~repro.errors.HeartbeatTimeoutError`).
+
+Recovery acts at window boundaries and replays a deterministic journal,
+so although *detection* is wall-clock, the recovered *outcome* is not:
+a kill-chaos run produces a :class:`~repro.cluster.ClusterReport` whose
+:meth:`~repro.cluster.ClusterReport.parity_key` is bit-identical to the
+fault-free run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ClusterError, HeartbeatTimeoutError, WorkerCrashError
+from ..obs.recorder import Recorder, active
+from ..service import ServiceConfig, ServiceReport
+from .chaos import ChaosPlan
+from .config import ClusterConfig
+from .report import ClusterReport
+from .shard import StreamSpec
+from .wire import MSG_DONE, MSG_ERROR, MSG_HELLO, MSG_WINDOW, decode_message
+from .worker import WorkerSpec, worker_main
+
+__all__ = ["run_cluster"]
+
+
+def _percentile(sorted_values: List[int], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+_EMPTY_ACCOUNTING = {
+    "released": 0, "committed": 0, "shed": 0,
+    "expired": 0, "lost": 0, "backlog": 0,
+}
+
+
+@dataclass
+class _Worker:
+    """One worker slot's live supervision state (spans incarnations)."""
+
+    spec: WorkerSpec
+    proc: Any = None
+    conn: Any = None
+    restarts: int = 0
+    last_heard: float = 0.0
+    last_window: int = -1  # highest window the supervisor saw journaled
+    cumulative: Dict[str, int] = field(
+        default_factory=lambda: dict(_EMPTY_ACCOUNTING)
+    )
+    replayed: int = 0
+    end: Optional[str] = None  # None while live; "done"|"retired"|"shed"
+    report: Optional[ServiceReport] = None
+    sojourns: List[int] = field(default_factory=list)
+    final: Optional[Dict[str, int]] = None
+
+    @property
+    def live(self) -> bool:
+        return self.end is None
+
+
+class _Supervisor:
+    """Implementation of :func:`run_cluster` (one instance per call)."""
+
+    def __init__(
+        self,
+        topology: str,
+        size: int,
+        size2: Optional[int],
+        stream: StreamSpec,
+        service: ServiceConfig,
+        config: ClusterConfig,
+        chaos: ChaosPlan,
+        recorder: Optional[Recorder],
+    ) -> None:
+        chaos.validate_against(config.workers, config.windows)
+        self.topology, self.size, self.size2 = topology, size, size2
+        self.stream, self.service, self.config = stream, service, config
+        self.chaos = chaos
+        self.rec = active(recorder)
+        self.ctx = mp.get_context("fork")
+        self.workers: List[_Worker] = []
+        self.total_restarts = 0
+        self.stragglers = 0
+        self._next_slot = config.workers  # ids for replacement workers
+
+    # ------------------------------------------------------------------ #
+    # spawning
+    # ------------------------------------------------------------------ #
+
+    def _initial_spec(self, worker: int, journal_dir: Path) -> WorkerSpec:
+        return WorkerSpec(
+            worker=worker,
+            shards=self.config.workers,
+            owned_from={worker: 0},
+            topology=self.topology,
+            size=self.size,
+            size2=self.size2,
+            stream=self.stream,
+            service=self.service,
+            windows=self.config.windows,
+            start_window=0,
+            journal_path=str(journal_dir / f"worker-{worker}.journal.jsonl"),
+            checkpoint_path=str(journal_dir / f"worker-{worker}.ckpt.json"),
+            checkpoint_every=self.config.checkpoint_every,
+            verify_replay=self.config.verify_replay,
+            chaos=self.chaos.for_worker(worker),
+        )
+
+    def _spawn(self, state: _Worker) -> None:
+        recv, send = self.ctx.Pipe(duplex=False)
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(send, state.spec),
+            name=f"cluster-worker-{state.spec.worker}",
+            daemon=True,
+        )
+        proc.start()
+        send.close()  # the child holds the send end now
+        state.proc, state.conn = proc, recv
+        state.last_heard = time.monotonic()
+
+    def _respawn(self, state: _Worker, crash_window: int) -> None:
+        """Restart a slot from its journal, stripping fired chaos.
+
+        ``crash_window`` is the window the dead incarnation was on;
+        events at or before it already fired (the kill that killed it
+        fired *at* it) and must not re-fire after replay reaches that
+        window again.
+        """
+        state.spec = replace(
+            state.spec,
+            chaos=tuple(
+                e for e in state.spec.chaos if e.window > crash_window
+            ),
+        )
+        wait = self.config.restart.wait(min(
+            state.restarts, self.config.restart.max_retries
+        ))
+        time.sleep(wait * self.config.restart_backoff_s)
+        state.restarts += 1
+        self.total_restarts += 1
+        self.rec.count("cluster.restarts")
+        self._spawn(state)
+
+    # ------------------------------------------------------------------ #
+    # failure handling
+    # ------------------------------------------------------------------ #
+
+    def _reap(self, state: _Worker) -> None:
+        if state.conn is not None:
+            state.conn.close()
+            state.conn = None
+        if state.proc is not None:
+            state.proc.join(timeout=5.0)
+            state.proc = None
+
+    def _on_crash(self, state: _Worker) -> None:
+        """A worker process died without sending ``cluster_done``."""
+        self._reap(state)
+        worker = state.spec.worker
+        if self.config.on_crash == "strict":
+            raise WorkerCrashError(
+                f"worker {worker} died at window {state.last_window + 1} "
+                f"(crash policy is strict)"
+            )
+        if state.restarts >= self.config.restart.max_retries:
+            # budget exhausted: retire the slot, queued work becomes loss
+            state.end = "retired"
+            state.final = dict(state.cumulative)
+            state.final["lost"] += state.final.pop("backlog")
+            state.final["backlog"] = 0
+            self.rec.count("cluster.retired")
+            return
+        self._respawn(state, crash_window=state.last_window + 1)
+
+    def _on_straggler(self, state: _Worker) -> None:
+        """A live worker went silent past the heartbeat timeout."""
+        self.stragglers += 1
+        self.rec.count("cluster.stragglers")
+        worker = state.spec.worker
+        stall_window = state.last_window + 1
+        if self.config.on_straggler == "strict":
+            raise HeartbeatTimeoutError(
+                f"worker {worker} sent nothing for "
+                f"{self.config.heartbeat_timeout_s:.1f}s (stalled before "
+                f"window {stall_window}; straggler policy is strict)"
+            )
+        state.proc.kill()
+        self._reap(state)
+        if self.config.on_straggler == "restart":
+            self._respawn(state, crash_window=stall_window)
+            return
+        # shed: retire the stalled worker (its queued work is typed shed
+        # load) and hand its residue classes to a fresh replacement that
+        # owns them from the stall window onward.
+        state.end = "shed"
+        state.final = dict(state.cumulative)
+        state.final["shed"] += state.final.pop("backlog")
+        state.final["backlog"] = 0
+        handoff_step = stall_window * self.service.window
+        replacement = _Worker(spec=replace(
+            state.spec,
+            worker=self._next_slot,
+            owned_from={
+                c: max(s, handoff_step)
+                for c, s in state.spec.owned_from.items()
+            },
+            start_window=stall_window,
+            journal_path=str(
+                Path(state.spec.journal_path).with_name(
+                    f"worker-{self._next_slot}.journal.jsonl"
+                )
+            ),
+            checkpoint_path=str(
+                Path(state.spec.journal_path).with_name(
+                    f"worker-{self._next_slot}.ckpt.json"
+                )
+            ),
+            chaos=tuple(
+                e for e in state.spec.chaos if e.window > stall_window
+            ),
+        ))
+        replacement.last_window = stall_window - 1
+        self._next_slot += 1
+        self.workers.append(replacement)
+        self._spawn(replacement)
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+
+    def _on_message(self, state: _Worker, text: str) -> None:
+        kind, body = decode_message(text)
+        state.last_heard = time.monotonic()
+        if kind == MSG_HELLO:
+            state.replayed += int(body["replayed"])
+        elif kind == MSG_WINDOW:
+            state.last_window = max(state.last_window, int(body["window"]))
+            state.cumulative = {
+                k: int(v) for k, v in body["cumulative"].items()
+            }
+            self.rec.count("cluster.windows")
+        elif kind == MSG_DONE:
+            state.end = "done"
+            state.report = ServiceReport.from_json(body["report"])
+            state.sojourns = [int(s) for s in body["sojourns"]]
+            state.final = {k: int(v) for k, v in body["accounting"].items()}
+            self._reap(state)
+        elif kind == MSG_ERROR:
+            self._reap(state)
+            raise ClusterError(
+                f"worker {body['worker']} failed with {body['error']}: "
+                f"{body['message']}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # the event loop
+    # ------------------------------------------------------------------ #
+
+    def _drain(self, state: _Worker) -> bool:
+        """Read every buffered message from one pipe; False on EOF."""
+        while state.conn is not None and state.conn.poll():
+            try:
+                text = state.conn.recv()
+            except EOFError:
+                return False
+            self._on_message(state, text)
+        return True
+
+    def run(self, journal_dir: Path) -> None:
+        self.workers = [
+            _Worker(spec=self._initial_spec(i, journal_dir))
+            for i in range(self.config.workers)
+        ]
+        for state in self.workers:
+            self._spawn(state)
+        try:
+            while any(w.live for w in self.workers):
+                live = [w for w in self.workers if w.live]
+                waitables = [w.conn for w in live if w.conn is not None]
+                waitables += [
+                    w.proc.sentinel for w in live if w.proc is not None
+                ]
+                connection_wait(waitables, timeout=self.config.poll_interval_s)
+                now = time.monotonic()
+                for state in list(live):
+                    if not state.live:
+                        continue
+                    eof = not self._drain(state)
+                    if not state.live:
+                        continue
+                    dead = state.proc is not None and not state.proc.is_alive()
+                    if eof or dead:
+                        # the pipe may have delivered DONE between the
+                        # drain and the exit; drain once more to be sure
+                        self._drain(state)
+                        if state.live:
+                            self._on_crash(state)
+                        continue
+                    if (
+                        now - state.last_heard
+                        > self.config.heartbeat_timeout_s
+                    ):
+                        self._on_straggler(state)
+        finally:
+            for state in self.workers:
+                if state.proc is not None and state.proc.is_alive():
+                    state.proc.kill()
+                self._reap(state)
+
+    # ------------------------------------------------------------------ #
+    # merging
+    # ------------------------------------------------------------------ #
+
+    def merge(self, wall_s: float) -> ClusterReport:
+        totals = dict(_EMPTY_ACCOUNTING)
+        sojourns: List[int] = []
+        per_worker: List[Dict[str, Any]] = []
+        for state in self.workers:
+            final = state.final if state.final is not None else dict(
+                state.cumulative
+            )
+            for key, value in final.items():
+                totals[key] += value
+            sojourns.extend(state.sojourns)
+            per_worker.append({
+                "worker": state.spec.worker,
+                "classes": sorted(state.spec.owned_from),
+                "start_window": state.spec.start_window,
+                "released": final["released"],
+                "committed": final["committed"],
+                "shed": final["shed"],
+                "expired": final["expired"],
+                "lost": final["lost"],
+                "final_backlog": final["backlog"],
+                "end": state.end or "lost",
+                "restarts": state.restarts,
+                "replayed": state.replayed,
+            })
+        sojourns.sort()
+        engine = (
+            self.service.engine if self.service.engine != "auto" else "batch"
+        )
+        return ClusterReport(
+            topology=self.topology,
+            engine=engine,
+            stream=self.stream.kind,
+            workers=self.config.workers,
+            windows=self.config.windows,
+            window_len=self.service.window,
+            seed=self.stream.seed,
+            released=totals["released"],
+            committed=totals["committed"],
+            shed=totals["shed"],
+            expired=totals["expired"],
+            lost=totals["lost"],
+            final_backlog=totals["backlog"],
+            sojourn_p50=_percentile(sojourns, 0.50),
+            sojourn_p99=_percentile(sojourns, 0.99),
+            sojourn_mean=(
+                sum(sojourns) / len(sojourns) if sojourns else 0.0
+            ),
+            sojourn_max=max(sojourns, default=0),
+            per_worker=tuple(per_worker),
+            chaos=self.chaos.as_dicts(),
+            restarts=self.total_restarts,
+            stragglers=self.stragglers,
+            wall_s=round(wall_s, 6),
+        )
+
+
+def run_cluster(
+    topology: str = "grid",
+    size: int = 3,
+    size2: Optional[int] = None,
+    stream: StreamSpec | None = None,
+    service: ServiceConfig | None = None,
+    config: ClusterConfig | None = None,
+    chaos: ChaosPlan | None = None,
+    recorder: Optional[Recorder] = None,
+) -> ClusterReport:
+    """Run a supervised multi-process scheduling cluster to completion.
+
+    Forks ``config.workers`` processes, each serving one residue class
+    of the arrival stream described by ``stream`` on the named topology,
+    supervises them (heartbeats, bounded restarts, journaled recovery,
+    optional ``chaos`` injection), and merges their accounting into one
+    :class:`~repro.cluster.ClusterReport`.  The cluster-wide identity
+    ``committed + shed + expired + lost + final_backlog == released``
+    holds on the returned report regardless of how many workers crashed,
+    stalled, or were shed along the way.
+    """
+    stream = stream if stream is not None else StreamSpec()
+    service = service if service is not None else ServiceConfig()
+    config = config if config is not None else ClusterConfig()
+    chaos = chaos if chaos is not None else ChaosPlan()
+    sup = _Supervisor(
+        topology, size, size2, stream, service, config, chaos, recorder
+    )
+    owns_dir = config.journal_dir is None
+    journal_dir = Path(
+        tempfile.mkdtemp(prefix="repro-cluster-")
+        if owns_dir else config.journal_dir
+    )
+    journal_dir.mkdir(parents=True, exist_ok=True)
+    start = time.monotonic()
+    try:
+        sup.run(journal_dir)
+    finally:
+        if owns_dir:
+            shutil.rmtree(journal_dir, ignore_errors=True)
+    report = sup.merge(time.monotonic() - start)
+    if not report.accounted:
+        raise ClusterError(
+            f"cluster accounting identity violated: committed "
+            f"{report.committed} + shed {report.shed} + expired "
+            f"{report.expired} + lost {report.lost} + backlog "
+            f"{report.final_backlog} != released {report.released}"
+        )
+    return report

@@ -1,0 +1,97 @@
+"""The one IPC schema: versioned JSON envelopes over process pipes.
+
+Every byte that crosses a process boundary in this repo -- a sweep
+cell's result (:mod:`repro.experiments.sweep`) or a cluster worker's
+heartbeat, window result, and final report (:mod:`repro.cluster`) --
+is a single-line JSON document in the standard
+``{"schema_version", "kind", "body"}`` envelope from
+:func:`repro.io.serialize.json_payload`.  Centralizing the build/parse
+pair here means there is exactly one wire schema, tested once, instead
+of each multiprocess subsystem growing its own framing quirks.
+
+Messages are strings (not pickled objects) on purpose: the payload is
+inspectable in journals and logs, a version bump is an explicit schema
+change, and a corrupted frame fails with a typed
+:class:`~repro.errors.ClusterError` naming the problem instead of an
+unpickling traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from ..errors import ClusterError
+from ..io.serialize import SCHEMA_VERSION, dumps_line, json_payload
+
+__all__ = [
+    "CELL_KIND",
+    "MSG_HELLO",
+    "MSG_WINDOW",
+    "MSG_DONE",
+    "MSG_ERROR",
+    "WIRE_KINDS",
+    "encode_message",
+    "decode_message",
+]
+
+#: one sweep worker's enveloped cell result (``experiments/sweep.py``)
+CELL_KIND = "sweep_cell"
+
+#: cluster worker start/recovery announcement (doubles as first heartbeat)
+MSG_HELLO = "cluster_hello"
+#: one committed window's result -- the cluster's per-window heartbeat
+MSG_WINDOW = "cluster_window"
+#: a worker's final :class:`~repro.service.ServiceReport`
+MSG_DONE = "cluster_done"
+#: a worker's typed failure notice (sent before the process dies)
+MSG_ERROR = "cluster_error"
+
+#: every kind that may legally appear on a pipe
+WIRE_KINDS = (CELL_KIND, MSG_HELLO, MSG_WINDOW, MSG_DONE, MSG_ERROR)
+
+
+def encode_message(kind: str, body: Dict[str, Any]) -> str:
+    """Envelope ``body`` as a single-line wire message of ``kind``."""
+    if kind not in WIRE_KINDS:
+        raise ClusterError(
+            f"unknown wire kind {kind!r}; choose from {WIRE_KINDS}"
+        )
+    return dumps_line(json_payload(kind, body))
+
+
+def decode_message(
+    text: str, expected_kind: str | None = None
+) -> Tuple[str, Dict[str, Any]]:
+    """Parse and validate one wire message; returns ``(kind, body)``.
+
+    Raises :class:`~repro.errors.ClusterError` on malformed JSON, an
+    unsupported ``schema_version``, an unknown kind, a missing body, or
+    (when ``expected_kind`` is given) a kind mismatch.
+    """
+    try:
+        payload = json.loads(text)
+    except (TypeError, json.JSONDecodeError) as exc:
+        raise ClusterError(f"malformed wire message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ClusterError(
+            f"wire message must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ClusterError(
+            f"unsupported wire schema_version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    kind = payload.get("kind")
+    if kind not in WIRE_KINDS:
+        raise ClusterError(
+            f"unknown wire kind {kind!r}; choose from {WIRE_KINDS}"
+        )
+    if expected_kind is not None and kind != expected_kind:
+        raise ClusterError(
+            f"expected wire kind {expected_kind!r}, got {kind!r}"
+        )
+    if "body" not in payload:
+        raise ClusterError(f"wire message of kind {kind!r} missing 'body'")
+    return kind, payload["body"]

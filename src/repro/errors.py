@@ -24,6 +24,10 @@ __all__ = [
     "LintError",
     "CertificationError",
     "InvariantViolationError",
+    "SweepTimeoutError",
+    "ClusterError",
+    "WorkerCrashError",
+    "HeartbeatTimeoutError",
 ]
 
 
@@ -161,6 +165,55 @@ class CertificationError(StaticCheckError):
     def __init__(self, message: str, failures: tuple[str, ...] = ()) -> None:
         super().__init__(message)
         self.failures: tuple[str, ...] = tuple(failures)
+
+
+class SweepTimeoutError(ReproError):
+    """A sweep cell exceeded its per-cell deadline.
+
+    Raised by :func:`repro.experiments.sweep.run_sweep` only when
+    configured with ``on_timeout="strict"``; under the default
+    ``"record"`` policy the hung cell is terminated and a typed error
+    entry (carrying this class's name) lands in the merged
+    :class:`~repro.experiments.sweep.SweepReport` instead, so one hung
+    worker can never block a whole sweep.
+    """
+
+
+class ClusterError(ReproError):
+    """Base class for multi-process cluster failures (:mod:`repro.cluster`).
+
+    Raised for malformed cluster/chaos configuration, wire-protocol
+    violations on the supervisor/worker pipes, journal corruption, and
+    replay-divergence (a restarted worker whose re-executed windows do
+    not reproduce the journaled digests -- a determinism bug, never
+    silently absorbed).  Operational failures the supervisor is
+    configured to *survive* (worker crashes, stalls) do not raise; they
+    are recovered and accounted in the
+    :class:`~repro.cluster.report.ClusterReport`.
+    """
+
+
+class WorkerCrashError(ClusterError):
+    """A cluster worker process died and the supervisor gave up on it.
+
+    Raised only when the supervisor runs with ``on_crash="strict"`` or
+    when a worker exhausts its bounded restart budget
+    (:class:`~repro.faults.backoff.RetryPolicy`) and the configuration
+    forbids retiring it.  Under the default policy a crashed worker is
+    restarted from its journal; past the budget it is retired with its
+    queued work counted ``lost`` (typed, never silent).
+    """
+
+
+class HeartbeatTimeoutError(ClusterError):
+    """A cluster worker missed its heartbeat deadline.
+
+    Raised only when the supervisor runs with ``on_straggler="strict"``.
+    Under the graceful policies a stalled worker is killed and either
+    restarted from its journal (``"restart"``) or retired with its load
+    re-sharded to a replacement worker (``"shed"``); either way the
+    stall is recorded in the cluster report.
+    """
 
 
 class InvariantViolationError(ReproError):

@@ -46,6 +46,7 @@ from . import (
     e17_faults,
     e18_online_faults,
     e19_stability,
+    e20_cluster,
 )
 
 __all__ = [
@@ -76,6 +77,7 @@ _MODULES = [
     e17_faults,
     e18_online_faults,
     e19_stability,
+    e20_cluster,
 ]
 
 #: the exact parameter contract every experiment ``run`` must expose

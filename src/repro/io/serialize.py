@@ -30,8 +30,11 @@ __all__ = [
     "SCHEMA_VERSION",
     "json_payload",
     "dumps_canonical",
+    "dumps_line",
     "write_json",
     "read_json",
+    "append_jsonl",
+    "read_jsonl",
     "network_to_dict",
     "network_from_dict",
     "instance_to_dict",
@@ -71,6 +74,64 @@ def json_payload(kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
 def dumps_canonical(payload: Dict[str, Any]) -> str:
     """The one JSON writer: sorted keys, 2-space indent, stable bytes."""
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def dumps_line(payload: Dict[str, Any]) -> str:
+    """Single-line canonical JSON (sorted keys, no indent) for JSONL/wire."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def append_jsonl(path: str | Path, kind: str, body: Dict[str, Any]) -> None:
+    """Append one enveloped record to a JSON-lines file.
+
+    Each line is a complete ``schema_version``/``kind`` envelope; the
+    write is a single ``O_APPEND`` call so concurrent readers never see
+    a torn record.  This is the cluster journal's write-ahead format.
+    """
+    line = dumps_line(json_payload(kind, body)) + "\n"
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line)
+        fh.flush()
+
+
+def read_jsonl(
+    path: str | Path, expected_kind: str | None = None
+) -> list[Dict[str, Any]]:
+    """Read every record body from a JSON-lines file of envelopes.
+
+    A trailing partial line (a write cut short by a crash) is dropped
+    silently -- write-ahead semantics: a record either committed fully
+    or does not exist.  Raises :class:`ReproError` on an unreadable
+    file, an unsupported ``schema_version``, or (when ``expected_kind``
+    is given) a kind mismatch on any complete record.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot load {path}: {exc}") from exc
+    bodies: list[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            # torn tail record from a mid-append crash: ignore and stop
+            break
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ReproError(
+                f"{path}:{lineno}: unsupported schema_version {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        kind = payload.get("kind")
+        if expected_kind is not None and kind != expected_kind:
+            raise ReproError(
+                f"{path}:{lineno}: expected kind {expected_kind!r}, "
+                f"got {kind!r}"
+            )
+        bodies.append(payload["body"])
+    return bodies
 
 
 def write_json(path: str | Path, kind: str, body: Dict[str, Any]) -> None:

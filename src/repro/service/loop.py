@@ -192,6 +192,11 @@ class SchedulingService:
         return len(self._backlog) + len(self._deferred)
 
     @property
+    def windows_run(self) -> int:
+        """Arrival windows processed so far (the next window's index)."""
+        return self._windows_run
+
+    @property
     def dead_nodes(self) -> frozenset[int]:
         """Nodes whose compute plane has crashed so far."""
         return frozenset(self._dead)
@@ -530,6 +535,148 @@ class SchedulingService:
                 )
             self.run_window(idx)
         return self.report()
+
+    # ------------------------------------------------------------------ #
+    # checkpointing (cluster worker recovery)
+    # ------------------------------------------------------------------ #
+
+    def accounting(self) -> Dict[str, int]:
+        """The conservation counters at the current window boundary.
+
+        ``committed + shed + expired + lost + backlog == released`` holds
+        at every boundary; the cluster journal stores this dict (plus its
+        digest) per window, and the supervisor sums it across workers.
+        """
+        return {
+            "released": self._released,
+            "committed": len(self._commits),
+            "shed": len(self._shed),
+            "expired": len(self._expired),
+            "lost": len(self._lost),
+            "backlog": self.queue_length,
+        }
+
+    def sojourn_samples(self) -> List[int]:
+        """All commit sojourns so far, ascending (for cluster-wide stats)."""
+        return sorted(self._sojourns)
+
+    @staticmethod
+    def _entry_state(e: _Entry) -> Dict[str, object]:
+        return {
+            "tid": e.txn.tid,
+            "node": e.txn.node,
+            "objects": sorted(e.txn.objects),
+            "release": e.release,
+            "attempts": e.attempts,
+            "eligible_window": e.eligible_window,
+        }
+
+    @staticmethod
+    def _entry_from_state(state: Dict[str, object]) -> _Entry:
+        from ..core.transaction import Transaction
+
+        entry = _Entry(
+            Transaction(state["tid"], state["node"], state["objects"]),
+            int(state["release"]),  # type: ignore[arg-type]
+        )
+        entry.attempts = int(state["attempts"])  # type: ignore[arg-type]
+        entry.eligible_window = int(state["eligible_window"])  # type: ignore[arg-type]
+        return entry
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the service's full mutable state.
+
+        Together with :meth:`restore_state` this is the cluster worker's
+        checkpoint: a service constructed with the same stream spec,
+        config, and plan, then fed this snapshot, continues bit-for-bit
+        identically (same commits, same report).  Valid only at a window
+        boundary (never mid-``run_window``).
+        """
+        return {
+            "stream": self.stream.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "backlog": [self._entry_state(e) for e in self._backlog],
+            "deferred": [self._entry_state(e) for e in self._deferred],
+            "gate_open": self._gate_open,
+            "dead": sorted(self._dead),
+            "unrecoverable": sorted(self._unrecoverable),
+            "crash_cursor": self._crash_cursor,
+            "windows_run": self._windows_run,
+            "released": self._released,
+            "admitted": self._admitted,
+            "commits": {str(t): c for t, c in self._commits.items()},
+            "sojourns": list(self._sojourns),
+            "shed": [[t, r] for t, r in self._shed],
+            "expired": [[t, r] for t, r in self._expired],
+            "lost": [[t, r] for t, r in self._lost],
+            "deferred_admissions": self._deferred_admissions,
+            "window_retries": self._window_retries,
+            "backlog_curve": list(self._backlog_curve),
+            "shed_windows": self._shed_windows,
+            "busy_until": self._busy_until,
+            "busy": self._busy,
+            "detector": self.detector.state_dict(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_state`.
+
+        The service must be freshly constructed from the same stream
+        spec, config, and plan as the snapshotting one; raises
+        :class:`~repro.errors.ServiceError` if windows have already run.
+        """
+        if self._windows_run or self._released:
+            raise ServiceError(
+                "restore_state() needs a fresh service; this one has "
+                f"already run {self._windows_run} windows"
+            )
+        self.stream.load_state(state["stream"])  # type: ignore[arg-type]
+        self._rng.bit_generator.state = state["rng"]
+        self._backlog = [self._entry_from_state(s) for s in state["backlog"]]  # type: ignore[union-attr]
+        self._deferred = [self._entry_from_state(s) for s in state["deferred"]]  # type: ignore[union-attr]
+        self._gate_open = bool(state["gate_open"])
+        self._dead = {int(n) for n in state["dead"]}  # type: ignore[union-attr]
+        self._unrecoverable = {int(o) for o in state["unrecoverable"]}  # type: ignore[union-attr]
+        self._crash_cursor = int(state["crash_cursor"])  # type: ignore[arg-type]
+        self._windows_run = int(state["windows_run"])  # type: ignore[arg-type]
+        self._released = int(state["released"])  # type: ignore[arg-type]
+        self._admitted = int(state["admitted"])  # type: ignore[arg-type]
+        self._commits = {
+            int(t): int(c) for t, c in state["commits"].items()  # type: ignore[union-attr]
+        }
+        self._sojourns = [int(s) for s in state["sojourns"]]  # type: ignore[union-attr]
+        self._shed = [(int(t), str(r)) for t, r in state["shed"]]  # type: ignore[union-attr]
+        self._expired = [(int(t), str(r)) for t, r in state["expired"]]  # type: ignore[union-attr]
+        self._lost = [(int(t), str(r)) for t, r in state["lost"]]  # type: ignore[union-attr]
+        self._deferred_admissions = int(state["deferred_admissions"])  # type: ignore[arg-type]
+        self._window_retries = int(state["window_retries"])  # type: ignore[arg-type]
+        self._backlog_curve = [int(q) for q in state["backlog_curve"]]  # type: ignore[union-attr]
+        self._shed_windows = int(state["shed_windows"])  # type: ignore[arg-type]
+        self._busy_until = int(state["busy_until"])  # type: ignore[arg-type]
+        self._busy = int(state["busy"])  # type: ignore[arg-type]
+        self.detector.load_state(state["detector"])  # type: ignore[arg-type]
+
+    def skip_to_window(self, window_index: int) -> None:
+        """Start a fresh service at ``window_index`` instead of 0.
+
+        Used by cluster replacement workers taking over a retired
+        worker's shard mid-run: the underlying stream must already have
+        been advanced to step ``window_index * window`` (drawing -- and
+        discarding -- the unowned prefix keeps the generator aligned).
+        Raises :class:`~repro.errors.ServiceError` on a service that has
+        already run or admitted anything.
+        """
+        if self._windows_run or self._released or self.queue_length:
+            raise ServiceError(
+                "skip_to_window() needs a fresh service; this one has "
+                f"already run {self._windows_run} windows"
+            )
+        if window_index < 0:
+            raise ServiceError(
+                f"window_index must be >= 0, got {window_index}"
+            )
+        self._windows_run = window_index
+        self._busy_until = window_index * self.config.window
 
     def report(self) -> ServiceReport:
         """The run's :class:`ServiceReport` (valid at any window boundary)."""

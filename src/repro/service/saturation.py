@@ -104,6 +104,31 @@ class SaturationDetector:
         """(state, current slope, samples observed) for reports."""
         return (self.state, self.slope(), self._observed)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the detector's mutable state."""
+        return {
+            "samples": list(self._samples),
+            "observed": self._observed,
+            "state": self.state,
+            "tripped_at": self.tripped_at,
+            "trips": self.trips,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The detector must have been constructed with the same horizon and
+        thresholds; only the sliding window and trip history change.
+        """
+        self._samples = deque(
+            (int(s) for s in state["samples"]), maxlen=self.horizon
+        )
+        self._observed = int(state["observed"])
+        self.state = str(state["state"])
+        tripped = state["tripped_at"]
+        self.tripped_at = None if tripped is None else int(tripped)
+        self.trips = int(state["trips"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SaturationDetector(state={self.state!r}, "

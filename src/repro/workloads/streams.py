@@ -142,6 +142,48 @@ class ArrivalStream:
         self._clock = max(self._clock, end)
         return out
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def _extra_state(self) -> Dict[str, object]:
+        """Subclass-specific mutable state (see :meth:`state_dict`)."""
+        return {}
+
+    def _load_extra(self, extra: Dict[str, object]) -> None:
+        """Restore subclass-specific state saved by :meth:`_extra_state`."""
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the stream's full mutable state.
+
+        Captures the generator state, the tid/clock cursors, the object
+        homes, and any subclass state, so a stream reconstructed from the
+        same constructor arguments and fed this snapshot via
+        :meth:`load_state` continues the *exact* arrival sequence -- the
+        contract the cluster's write-ahead journal recovery relies on.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "next_tid": self._next_tid,
+            "clock": self._clock,
+            "object_homes": {str(o): h for o, h in self.object_homes.items()},
+            "extra": self._extra_state(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The stream must have been constructed with the same parameters
+        (network, ``w``, ``k``, rates, ...); only the mutable state is
+        restored.
+        """
+        self._rng.bit_generator.state = state["rng"]
+        self._next_tid = int(state["next_tid"])  # type: ignore[arg-type]
+        self._clock = int(state["clock"])  # type: ignore[arg-type]
+        homes = state["object_homes"]
+        self.object_homes = {int(o): int(h) for o, h in homes.items()}  # type: ignore[union-attr]
+        self._load_extra(state.get("extra", {}))  # type: ignore[arg-type]
+
     def take(self, count: int, max_steps: int = 1_000_000) -> List[TimedTransaction]:
         """The next ``count`` arrivals (advances the clock step by step).
 
@@ -235,6 +277,12 @@ class MMPPStream(ArrivalStream):
             self._storm = not self._storm
         return count
 
+    def _extra_state(self) -> Dict[str, object]:
+        return {"storm": self._storm}
+
+    def _load_extra(self, extra: Dict[str, object]) -> None:
+        self._storm = bool(extra["storm"])
+
 
 class AdversarialStream(ArrivalStream):
     """A ``(rho, b)``-bounded injection adversary (arXiv:2208.07359 model).
@@ -300,3 +348,15 @@ class AdversarialStream(ArrivalStream):
             self._next_filler + 1 if self._next_filler + 1 < self.w else 1
         )
         return tuple(objs)
+
+    def _extra_state(self) -> Dict[str, object]:
+        return {
+            "tokens": self._tokens,
+            "next_node": self._next_node,
+            "next_filler": self._next_filler,
+        }
+
+    def _load_extra(self, extra: Dict[str, object]) -> None:
+        self._tokens = float(extra["tokens"])  # type: ignore[arg-type]
+        self._next_node = int(extra["next_node"])  # type: ignore[arg-type]
+        self._next_filler = int(extra["next_filler"])  # type: ignore[arg-type]

@@ -5,11 +5,21 @@ with fewer examples, so property tests are fast and bit-for-bit
 reproducible across workflow runs.  Locally the default profile applies;
 select the CI one explicitly with ``CI=1`` or
 ``pytest -p no:cacheprovider --hypothesis-profile=ci``.
+
+Every test also runs under a wall-clock deadline so a hung multiprocess
+test (a worker that never sends, a pipe nobody reads) fails loudly
+instead of stalling the whole suite.  CI installs ``pytest-timeout``;
+when the plugin is absent a SIGALRM-based fallback below enforces the
+same deadline (POSIX main thread only -- fork children do not inherit
+the alarm timer, so cluster/sweep worker processes are unaffected).
+Override per run with ``REPRO_TEST_TIMEOUT=<seconds>`` (0 disables), or
+per test with ``@pytest.mark.timeout(N)``.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -20,6 +30,53 @@ hypothesis_settings.register_profile(
 )
 if os.environ.get("CI"):
     hypothesis_settings.load_profile("ci")
+
+_DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ModuleNotFoundError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock deadline (plugin or "
+        "SIGALRM fallback)",
+    )
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    def _test_deadline(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        return _DEFAULT_TEST_TIMEOUT
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _test_deadline(item)
+        if seconds <= 0:
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"{item.nodeid} exceeded its {seconds:.0f}s deadline "
+                f"(REPRO_TEST_TIMEOUT or @pytest.mark.timeout to adjust)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 from repro.core.instance import Instance
 from repro.core.transaction import Transaction

@@ -28,6 +28,7 @@ SUBMODULES = [
     "repro.experiments",
     "repro.obs",
     "repro.service",
+    "repro.cluster",
     "repro.staticcheck",
 ]
 

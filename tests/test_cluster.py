@@ -1,0 +1,494 @@
+"""Tests for the crash-tolerant multi-process cluster (repro.cluster).
+
+The headline properties under test:
+
+* the sharded streams partition the unsharded arrival sequence exactly
+  (disjoint, union-complete, deterministic);
+* a service snapshot/restore continues bit-for-bit identically;
+* the journal is write-ahead (torn tails dropped, divergence loud);
+* a cluster run with injected kills/stalls commits the same transaction
+  set as the fault-free run (``parity_key`` bit-equality), and the
+  cluster-wide accounting identity holds under every failure mode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    ChaosPlan,
+    ClusterConfig,
+    ClusterReport,
+    ShardedStream,
+    StreamSpec,
+    WindowJournal,
+    WorkerDelay,
+    WorkerKill,
+    WorkerStall,
+    accounting_digest,
+    build_network,
+    run_cluster,
+)
+from repro.cluster.wire import (
+    CELL_KIND,
+    MSG_WINDOW,
+    decode_message,
+    encode_message,
+)
+from repro.errors import (
+    ClusterError,
+    HeartbeatTimeoutError,
+    ReproError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.faults.backoff import RetryPolicy
+from repro.network import grid
+from repro.service import SchedulingService, ServiceConfig
+
+STREAM = StreamSpec(kind="poisson", w=16, k=2, rate=0.6, seed=7)
+SVC = ServiceConfig(window=8)
+
+
+def quick_config(**kw) -> ClusterConfig:
+    defaults = dict(
+        workers=2,
+        windows=10,
+        checkpoint_every=4,
+        restart_backoff_s=0.01,
+        poll_interval_s=0.02,
+    )
+    defaults.update(kw)
+    return ClusterConfig(**defaults)
+
+
+class TestWire:
+    def test_round_trip(self):
+        body = {"worker": 1, "window": 3, "cumulative": {"released": 9}}
+        text = encode_message(MSG_WINDOW, body)
+        assert "\n" not in text  # single-line framing
+        kind, decoded = decode_message(text, expected_kind=MSG_WINDOW)
+        assert kind == MSG_WINDOW
+        assert decoded == body
+
+    def test_unknown_kind_rejected_on_encode(self):
+        with pytest.raises(ClusterError, match="unknown wire kind"):
+            encode_message("gossip", {})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ClusterError, match="malformed"):
+            decode_message("{not json")
+
+    def test_wrong_schema_version_rejected(self):
+        payload = json.loads(encode_message(MSG_WINDOW, {"x": 1}))
+        payload["schema_version"] = 999
+        with pytest.raises(ClusterError, match="schema_version"):
+            decode_message(json.dumps(payload))
+
+    def test_kind_mismatch_rejected(self):
+        text = encode_message(MSG_WINDOW, {"x": 1})
+        with pytest.raises(ClusterError, match="expected wire kind"):
+            decode_message(text, expected_kind=CELL_KIND)
+
+    def test_missing_body_rejected(self):
+        payload = json.loads(encode_message(MSG_WINDOW, {"x": 1}))
+        del payload["body"]
+        with pytest.raises(ClusterError, match="missing 'body'"):
+            decode_message(json.dumps(payload))
+
+
+class TestChaosPlan:
+    def test_events_sorted_and_stable(self):
+        plan = ChaosPlan([WorkerKill(1, 5), WorkerKill(0, 2)])
+        assert [e.window for e in plan.events] == [2, 5]
+        assert len(plan) == 2
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(ClusterError, match="more than once"):
+            ChaosPlan([WorkerKill(0, 2), WorkerStall(0, 2)])
+
+    def test_validate_against_bounds(self):
+        plan = ChaosPlan([WorkerKill(3, 5)])
+        with pytest.raises(ClusterError, match="worker 3"):
+            plan.validate_against(workers=2, windows=10)
+        with pytest.raises(ClusterError, match="window 5"):
+            ChaosPlan([WorkerKill(0, 5)]).validate_against(2, 4)
+
+    def test_for_worker_filters(self):
+        plan = ChaosPlan([WorkerKill(0, 1), WorkerDelay(1, 2)])
+        assert len(plan.for_worker(0)) == 1
+        assert plan.for_worker(0)[0].window == 1
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ClusterError):
+            ChaosPlan([WorkerKill(-1, 0)])
+        with pytest.raises(ClusterError):
+            ChaosPlan([WorkerStall(0, 0, seconds=0.0)])
+
+
+class TestShardedStream:
+    def test_shards_partition_the_base_stream(self):
+        net = grid(3)
+        horizon = 80
+        base_all = STREAM.build(net).window(0, horizon)
+        shard_tids = []
+        for i in range(3):
+            shard = ShardedStream(STREAM.build(net), 3, {i: 0})
+            got = shard.window(0, horizon)
+            assert all(t.txn.tid % 3 == i for t in got)
+            assert shard.released == len(got)
+            shard_tids.append([t.txn.tid for t in got])
+        union = sorted(t for tids in shard_tids for t in tids)
+        assert union == [t.txn.tid for t in base_all]
+
+    def test_ownership_start_step_excludes_earlier_releases(self):
+        net = grid(3)
+        full = ShardedStream(STREAM.build(net), 2, {0: 0}).window(0, 80)
+        late = ShardedStream(STREAM.build(net), 2, {0: 40}).window(0, 80)
+        late_tids = {t.txn.tid for t in late}
+        assert late_tids == {t.txn.tid for t in full if t.release >= 40}
+
+    def test_state_round_trip(self):
+        net = grid(3)
+        a = ShardedStream(STREAM.build(net), 2, {1: 0})
+        a.window(0, 40)
+        b = ShardedStream(STREAM.build(net), 2, {1: 0})
+        b.load_state(a.state_dict())
+        assert [t.txn.tid for t in a.window(40, 80)] == [
+            t.txn.tid for t in b.window(40, 80)
+        ]
+
+    def test_bad_shard_config_rejected(self):
+        net = grid(3)
+        with pytest.raises(ClusterError):
+            ShardedStream(STREAM.build(net), 0, {})
+        with pytest.raises(ClusterError):
+            ShardedStream(STREAM.build(net), 2, {5: 0})
+
+    def test_unknown_stream_kind_rejected(self):
+        with pytest.raises(ClusterError, match="unknown stream kind"):
+            StreamSpec(kind="fractal")
+
+
+class TestServiceSnapshot:
+    def _service(self):
+        net = grid(3)
+        return SchedulingService(
+            ShardedStream(STREAM.build(net), 2, {0: 0}), SVC
+        )
+
+    def test_snapshot_restore_continues_identically(self):
+        a = self._service()
+        for w in range(6):
+            a.run_window(w)
+        snap = a.snapshot_state()
+        b = self._service()
+        b.restore_state(snap)
+        for w in range(6, 12):
+            a.run_window(w)
+            b.run_window(w)
+        assert a.report() == b.report()
+        assert a.accounting() == b.accounting()
+
+    def test_restore_requires_fresh_service(self):
+        a = self._service()
+        a.run_window(0)
+        snap = a.snapshot_state()
+        with pytest.raises(ServiceError, match="fresh service"):
+            a.restore_state(snap)
+
+    def test_skip_to_window_requires_pristine_service(self):
+        a = self._service()
+        a.run_window(0)
+        with pytest.raises(ServiceError, match="fresh service"):
+            a.skip_to_window(4)
+
+    def test_snapshot_is_json_safe(self):
+        a = self._service()
+        for w in range(4):
+            a.run_window(w)
+        text = json.dumps(a.snapshot_state())  # raises on non-JSON types
+        b = self._service()
+        b.restore_state(json.loads(text))
+        assert b.accounting() == a.accounting()
+
+
+class TestJournal:
+    def test_append_load_round_trip(self, tmp_path):
+        j = WindowJournal(tmp_path / "w.jsonl", tmp_path / "w.ckpt")
+        assert not j.has_history()
+        for w in range(3):
+            j.append(w, f"d{w}", {"released": w})
+        ckpt, tail = j.load()
+        assert ckpt is None
+        assert [r["window"] for r in tail] == [0, 1, 2]
+        assert j.has_history()
+
+    def test_checkpoint_floors_the_tail(self, tmp_path):
+        j = WindowJournal(tmp_path / "w.jsonl", tmp_path / "w.ckpt")
+        for w in range(6):
+            j.append(w, f"d{w}", {"released": w})
+        j.checkpoint(4, {"stream": "state"})
+        ckpt, tail = j.load()
+        assert ckpt["window"] == 4
+        assert [r["window"] for r in tail] == [4, 5]
+
+    def test_torn_tail_record_dropped(self, tmp_path):
+        j = WindowJournal(tmp_path / "w.jsonl", tmp_path / "w.ckpt")
+        j.append(0, "d0", {"released": 1})
+        j.append(1, "d1", {"released": 2})
+        path = tmp_path / "w.jsonl"
+        path.write_bytes(path.read_bytes()[:-9])  # tear the last record
+        _, tail = j.load()
+        assert [r["window"] for r in tail] == [0]
+
+    def test_conflicting_digests_raise(self, tmp_path):
+        j = WindowJournal(tmp_path / "w.jsonl", tmp_path / "w.ckpt")
+        j.append(0, "aaaa", {"released": 1})
+        j.append(0, "bbbb", {"released": 2})
+        with pytest.raises(ClusterError, match="conflicting"):
+            j.load()
+
+    def test_gap_raises(self, tmp_path):
+        j = WindowJournal(tmp_path / "w.jsonl", tmp_path / "w.ckpt")
+        j.append(0, "d0", {"released": 1})
+        j.append(2, "d2", {"released": 3})
+        with pytest.raises(ClusterError, match="gap"):
+            j.load()
+
+    def test_replacement_floor_accepted(self, tmp_path):
+        j = WindowJournal(tmp_path / "w.jsonl", tmp_path / "w.ckpt")
+        j.append(5, "d5", {"released": 1})
+        j.append(6, "d6", {"released": 2})
+        _, tail = j.load(floor=5)
+        assert [r["window"] for r in tail] == [5, 6]
+
+    def test_digest_is_order_insensitive(self):
+        a = accounting_digest({"released": 3, "committed": 2})
+        b = accounting_digest({"committed": 2, "released": 3})
+        assert a == b
+
+
+class TestClusterConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"workers": 0},
+            {"windows": 0},
+            {"heartbeat_timeout_s": 0},
+            {"checkpoint_every": 0},
+            {"on_crash": "panic"},
+            {"on_straggler": "ignore"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kw):
+        with pytest.raises(ClusterError):
+            ClusterConfig(**kw)
+
+    def test_build_network_rejects_unknown_topology(self):
+        with pytest.raises(ReproError, match="unknown topology"):
+            build_network("moebius", 3)
+
+
+class TestClusterRuns:
+    def test_fault_free_identity_and_worker_sum(self):
+        rep = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        assert rep.accounted
+        assert rep.released > 0
+        for key in ("released", "committed", "shed", "expired", "lost"):
+            assert getattr(rep, key) == sum(w[key] for w in rep.per_worker)
+        assert rep.restarts == 0 and rep.stragglers == 0
+        assert all(w["end"] == "done" for w in rep.per_worker)
+
+    def test_repeat_runs_bit_identical(self):
+        a = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        b = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        assert a.parity_key() == b.parity_key()
+
+    def test_kill_chaos_matches_fault_free_run(self):
+        cfg = quick_config(workers=3)
+        base = run_cluster("grid", 3, None, STREAM, SVC, cfg)
+        killed = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerKill(1, 5)]),
+        )
+        assert killed.restarts == 1
+        assert killed.accounted
+        assert killed.parity_key() == base.parity_key()
+
+    def test_parity_across_restart_timings(self):
+        # wall-clock backoff must not leak into the outcome
+        chaos = ChaosPlan([WorkerKill(0, 4)])
+        fast = run_cluster(
+            "grid", 3, None, STREAM, SVC,
+            quick_config(restart_backoff_s=0.0), chaos=chaos,
+        )
+        slow = run_cluster(
+            "grid", 3, None, STREAM, SVC,
+            quick_config(restart_backoff_s=0.05), chaos=chaos,
+        )
+        assert fast.parity_key() == slow.parity_key()
+
+    def test_double_kill_same_worker_recovers(self):
+        cfg = quick_config(workers=2, windows=12)
+        base = run_cluster("grid", 3, None, STREAM, SVC, cfg)
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerKill(1, 3), WorkerKill(1, 8)]),
+        )
+        assert rep.restarts == 2
+        assert rep.parity_key() == base.parity_key()
+
+    def test_kill_across_checkpoint_boundary(self):
+        # die right after a checkpoint: replay must resume from it
+        cfg = quick_config(workers=2, windows=10, checkpoint_every=4)
+        base = run_cluster("grid", 3, None, STREAM, SVC, cfg)
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerKill(0, 4)]),
+        )
+        assert rep.parity_key() == base.parity_key()
+
+    def test_restart_budget_exhaustion_retires_with_typed_loss(self):
+        cfg = quick_config(
+            workers=2, windows=10,
+            restart=RetryPolicy(max_retries=1, max_wait=2),
+        )
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerKill(0, 2), WorkerKill(0, 5)]),
+        )
+        assert rep.accounted
+        retired = [w for w in rep.per_worker if w["end"] == "retired"]
+        assert len(retired) == 1
+        assert retired[0]["final_backlog"] == 0  # moved into lost
+        survivors = [w for w in rep.per_worker if w["end"] == "done"]
+        assert survivors and all(w["released"] > 0 for w in survivors)
+
+    def test_strict_crash_policy_raises(self):
+        with pytest.raises(WorkerCrashError, match="worker 0"):
+            run_cluster(
+                "grid", 3, None, STREAM, SVC,
+                quick_config(on_crash="strict"),
+                chaos=ChaosPlan([WorkerKill(0, 2)]),
+            )
+
+    def test_stall_restart_matches_fault_free_run(self):
+        cfg = quick_config(
+            heartbeat_timeout_s=0.3, on_straggler="restart"
+        )
+        base = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerStall(0, 4, seconds=30.0)]),
+        )
+        assert rep.stragglers == 1 and rep.restarts == 1
+        assert rep.parity_key() == base.parity_key()
+
+    def test_stall_shed_hands_off_to_replacement(self):
+        cfg = quick_config(heartbeat_timeout_s=0.3, on_straggler="shed")
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerStall(0, 4, seconds=30.0)]),
+        )
+        assert rep.accounted
+        shed = [w for w in rep.per_worker if w["end"] == "shed"]
+        assert len(shed) == 1
+        replacement = [w for w in rep.per_worker if w["start_window"] > 0]
+        assert len(replacement) == 1
+        assert replacement[0]["classes"] == shed[0]["classes"]
+        # the full residue class is covered: shed prefix + replacement
+        base = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        assert rep.released == base.released
+
+    def test_strict_straggler_policy_raises(self):
+        with pytest.raises(HeartbeatTimeoutError, match="worker 0"):
+            run_cluster(
+                "grid", 3, None, STREAM, SVC,
+                quick_config(heartbeat_timeout_s=0.3, on_straggler="strict"),
+                chaos=ChaosPlan([WorkerStall(0, 3, seconds=30.0)]),
+            )
+
+    def test_delay_below_timeout_triggers_nothing(self):
+        cfg = quick_config(heartbeat_timeout_s=2.0)
+        base = run_cluster("grid", 3, None, STREAM, SVC, cfg)
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerDelay(0, 3, seconds=0.05)]),
+        )
+        assert rep.stragglers == 0 and rep.restarts == 0
+        assert rep.parity_key() == base.parity_key()
+
+    def test_chaos_validated_against_cluster_shape(self):
+        with pytest.raises(ClusterError, match="worker 5"):
+            run_cluster(
+                "grid", 3, None, STREAM, SVC, quick_config(),
+                chaos=ChaosPlan([WorkerKill(5, 2)]),
+            )
+
+
+class TestClusterReport:
+    def test_json_round_trip(self):
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, quick_config(),
+            chaos=ChaosPlan([WorkerKill(1, 5)]),
+        )
+        back = ClusterReport.from_json(rep.to_json())
+        assert back == rep
+        assert back.parity_key() == rep.parity_key()
+
+    def test_parity_key_excludes_the_supervision_path(self):
+        rep = run_cluster(
+            "grid", 3, None, STREAM, SVC, quick_config(),
+            chaos=ChaosPlan([WorkerKill(1, 5)]),
+        )
+        key = json.dumps(rep.parity_key(), default=list)
+        assert "wall" not in key
+        assert "restarts" not in key
+        assert "chaos" not in key
+
+    def test_render_mentions_every_worker(self):
+        rep = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        text = rep.render()
+        for w in rep.per_worker:
+            assert f"worker {w['worker']}" in text
+
+
+class TestClusterCli:
+    def test_cluster_command_with_parity_gate(self, capsys):
+        from repro.cli import main
+
+        status = main([
+            "cluster", "--topology", "grid", "--size", "3",
+            "--workers", "2", "--windows", "8", "--rate", "0.6",
+            "--seed", "7", "--chaos", "kill", "--parity",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "parity with fault-free run: OK" in out
+
+    def test_cluster_command_writes_report_json(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import load_report
+
+        out_path = tmp_path / "cluster.json"
+        status = main([
+            "cluster", "--topology", "grid", "--size", "3",
+            "--workers", "2", "--windows", "6", "--seed", "7",
+            "--json", str(out_path),
+        ])
+        assert status == 0
+        rep = load_report(out_path)
+        assert isinstance(rep, ClusterReport)
+        assert rep.accounted
+
+    def test_bad_chaos_spec_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(ReproError, match="unknown chaos spec"):
+            main([
+                "cluster", "--topology", "grid", "--size", "3",
+                "--windows", "6", "--chaos", "meteor",
+            ])

@@ -1,0 +1,95 @@
+"""Property tests: crash recovery is outcome-invariant, everywhere.
+
+Hypothesis drives the chaos coordinates instead of a hand-picked few:
+killing any worker at any window -- or two workers, or the same worker
+twice -- must leave the merged :class:`~repro.cluster.ClusterReport`
+bit-identical in outcome (``parity_key``) to the fault-free run.  The
+fault-free baseline is computed once per module and reused, so each
+example pays for one chaos run only.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ChaosPlan, ClusterConfig, StreamSpec, WorkerKill, run_cluster
+from repro.service import ServiceConfig
+
+WORKERS = 2
+WINDOWS = 8
+STREAM = StreamSpec(kind="poisson", w=16, k=2, rate=0.7, seed=11)
+SVC = ServiceConfig(window=8)
+
+
+def _config() -> ClusterConfig:
+    return ClusterConfig(
+        workers=WORKERS,
+        windows=WINDOWS,
+        checkpoint_every=3,
+        restart_backoff_s=0.0,
+        poll_interval_s=0.02,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_cluster("grid", 3, None, STREAM, SVC, _config())
+
+
+coords = st.tuples(
+    st.integers(min_value=0, max_value=WORKERS - 1),
+    st.integers(min_value=0, max_value=WINDOWS - 1),
+)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(coord=coords)
+def test_kill_anywhere_is_outcome_invariant(baseline, coord):
+    worker, window = coord
+    rep = run_cluster(
+        "grid", 3, None, STREAM, SVC, _config(),
+        chaos=ChaosPlan([WorkerKill(worker, window)]),
+    )
+    assert rep.restarts == 1
+    assert rep.accounted
+    assert rep.parity_key() == baseline.parity_key()
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    pair=st.tuples(coords, coords).filter(lambda p: p[0] != p[1]),
+)
+def test_double_kill_is_outcome_invariant(baseline, pair):
+    # two kills -- same worker twice or both workers -- at any windows
+    rep = run_cluster(
+        "grid", 3, None, STREAM, SVC, _config(),
+        chaos=ChaosPlan([WorkerKill(*pair[0]), WorkerKill(*pair[1])]),
+    )
+    assert rep.restarts == 2
+    assert rep.accounted
+    assert rep.parity_key() == baseline.parity_key()
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_recovery_is_seed_deterministic(seed):
+    # for any stream seed, a double restart of the same worker still
+    # reproduces that seed's fault-free outcome exactly
+    stream = StreamSpec(kind="poisson", w=16, k=2, rate=0.7, seed=seed)
+    base = run_cluster("grid", 3, None, stream, SVC, _config())
+    rep = run_cluster(
+        "grid", 3, None, stream, SVC, _config(),
+        chaos=ChaosPlan([WorkerKill(0, 2), WorkerKill(0, 6)]),
+    )
+    assert rep.accounted
+    assert rep.parity_key() == base.parity_key()

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.errors import (
+    ClusterError,
     DeadlineExpiredError,
     FaultError,
     GraphError,
+    HeartbeatTimeoutError,
     InfeasibleScheduleError,
     InstanceError,
     RecoveryError,
@@ -13,7 +15,9 @@ from repro.errors import (
     SaturationError,
     SchedulingError,
     ServiceError,
+    SweepTimeoutError,
     TopologyError,
+    WorkerCrashError,
 )
 
 
@@ -31,6 +35,10 @@ class TestHierarchy:
             ServiceError,
             DeadlineExpiredError,
             SaturationError,
+            SweepTimeoutError,
+            ClusterError,
+            WorkerCrashError,
+            HeartbeatTimeoutError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -46,6 +54,17 @@ class TestHierarchy:
             raise DeadlineExpiredError("too slow")
         with pytest.raises(ServiceError):
             raise SaturationError("diverging")
+
+    def test_cluster_errors_form_a_sub_hierarchy(self):
+        # one except ClusterError clause catches every cluster failure
+        assert issubclass(WorkerCrashError, ClusterError)
+        assert issubclass(HeartbeatTimeoutError, ClusterError)
+        with pytest.raises(ClusterError):
+            raise WorkerCrashError("worker 3 died")
+        with pytest.raises(ClusterError):
+            raise HeartbeatTimeoutError("worker 3 went silent")
+        # but a sweep timeout is not a cluster failure
+        assert not issubclass(SweepTimeoutError, ClusterError)
 
     def test_recovery_error_is_a_fault_error(self):
         # callers handling fault-layer failures with one except clause

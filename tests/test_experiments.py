@@ -24,10 +24,11 @@ def tables():
 
 
 class TestRegistry:
-    def test_nineteen_experiments(self):
+    def test_twenty_experiments(self):
         assert experiment_ids() == [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
             "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19",
+            "e20",
         ]
         assert set(EXPERIMENTS) == set(TITLES)
 
