@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo service-demo cluster-demo clean
+.PHONY: install test ci lint bench bench-snapshot bench-check experiments figures quick-experiments trace-demo session-demo service-demo cluster-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -53,6 +53,14 @@ trace-demo:
 	PYTHONPATH=src $(PYTHON) -m repro run e1 --quick --trace-out e1-trace.json
 	PYTHONPATH=src $(PYTHON) -m repro trace summarize e1-trace.json
 	PYTHONPATH=src $(PYTHON) -m repro trace export e1-trace.json --csv e1-trace.csv
+
+# drive a rolling scheduler session: the incremental engine on a clique
+# (greedy family), then the per-read batch fallback on a grid
+session-demo:
+	PYTHONPATH=src $(PYTHON) -m repro session --topology clique --size 64 \
+		--window 48 --batch 8 --epochs 50 --seed 7
+	PYTHONPATH=src $(PYTHON) -m repro session --topology grid --size 8 \
+		--window 48 --batch 8 --epochs 50 --seed 7
 
 # run the continuous-arrival service: stable, overloaded, adversarial
 service-demo:

@@ -25,12 +25,15 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.benchreg import (  # noqa: E402  (path bootstrap above)
+    attach_session_results,
+    check_session_gate,
     compare_snapshots,
     latest_snapshot_path,
     load_snapshot,
     merge_runs,
     next_snapshot_path,
     run_harness,
+    run_session_bench,
     write_snapshot,
 )
 
@@ -51,6 +54,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="harness passes merged by per-bench median "
                              "(default: 3); medians vote out anomalously "
                              "fast/slow machine windows")
+    parser.add_argument("--no-session", action="store_true",
+                        help="skip the rolling-session throughput bench "
+                             "(incremental vs per-window rebuild)")
     args = parser.parse_args(argv)
 
     runs = args.runs
@@ -64,6 +70,11 @@ def main(argv: list[str] | None = None) -> int:
     # baselines keep the typical (median) timing; checks keep the best
     # (min), since check-side noise only ever inflates a measurement
     body = merge_runs(bodies, reduce="min" if args.check else "median")
+    if not args.no_session:
+        print("rolling-session bench:")
+        attach_session_results(
+            body, run_session_bench(quick=args.quick, verbose=True)
+        )
     for group, s in sorted(body["speedups"].items()):
         print(f"  speedup {group:24s} {s['speedup']:5.2f}x "
               f"({s['reference_s'] * 1e3:.1f} ms -> "
@@ -80,10 +91,19 @@ def main(argv: list[str] | None = None) -> int:
         regressions, notes = compare_snapshots(baseline, body)
         for note in notes:
             print(f"  note: {note}")
+        failed = False
         if regressions:
             print(f"bench-check FAILED vs {baseline_path.name}:")
             for reg in regressions:
                 print(f"  REGRESSION {reg.describe()}")
+            failed = True
+        if not args.no_session:
+            ok, detail = check_session_gate(body)
+            print(f"  session gate: {detail}")
+            if not ok:
+                print("bench-check FAILED: session gate below threshold")
+                failed = True
+        if failed:
             return 1
         print(f"bench-check OK vs {baseline_path.name} "
               f"({len(baseline.get('results', {}))} benchmarks)")

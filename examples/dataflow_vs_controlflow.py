@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.analysis import Table
 from repro.controlflow import ControlFlowScheduler
-from repro.core import compact_schedule, scheduler_for
+from repro.core import compact_schedule, resolve_scheduler
 from repro.network import grid
 from repro.workloads import random_k_subsets, root_rng
 
@@ -30,7 +30,11 @@ def main() -> None:
     for k in (1, 2, 3, 4):
         rng = root_rng(k)
         inst = random_k_subsets(net, w, k, rng)
-        df = compact_schedule(scheduler_for(inst).schedule(inst, rng))
+        df = compact_schedule(
+            resolve_scheduler(
+                topology=inst.network.topology.name
+            ).schedule(inst, rng)
+        )
         df.validate()
         mks = {"data_flow": df.makespan}
         for mode in ("rpc", "migration", "hybrid"):

@@ -29,7 +29,7 @@ def main() -> None:
     print(f"heaviest object is requested by {instance.max_load} transactions")
 
     # 3. schedule with the topology-appropriate algorithm (Theorem 1 greedy)
-    schedule = repro.schedule_instance(instance, rng)
+    schedule = repro.schedule(instance, rng=rng)
     schedule.validate()  # static feasibility: every object leg fits
 
     # 4. execute hop-by-hop in the synchronous data-flow simulator

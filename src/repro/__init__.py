@@ -50,16 +50,18 @@ from .core import (
     Instance,
     Schedule,
     SchedulerInfo,
+    SchedulerSession,
     Transaction,
     available_schedulers,
     get_scheduler,
+    open_session,
     resolve_scheduler,
     schedule_instance,
     scheduler_for,
 )
 from .core.dispatch import schedule
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -88,6 +90,8 @@ __all__ = [
     "optimize_homes",
     "median_node",
     "schedule",
+    "open_session",
+    "SchedulerSession",
     "resolve_scheduler",
     "SchedulerInfo",
     "SCHEDULER_INFO",

@@ -9,6 +9,7 @@ whose normalized time regressed by more than the threshold -- the
 """
 
 from .harness import BENCH_SPECS, BenchSpec, merge_runs, run_harness
+from .session import attach_session_results, run_session_bench
 from .snapshot import (
     BENCH_SCHEMA_VERSION,
     latest_snapshot_path,
@@ -16,13 +17,23 @@ from .snapshot import (
     next_snapshot_path,
     write_snapshot,
 )
-from .compare import REGRESSION_THRESHOLD, Regression, compare_snapshots
+from .compare import (
+    MIN_SESSION_SPEEDUP,
+    REGRESSION_THRESHOLD,
+    Regression,
+    check_session_gate,
+    compare_snapshots,
+)
 
 __all__ = [
     "BENCH_SPECS",
     "BenchSpec",
     "run_harness",
     "merge_runs",
+    "run_session_bench",
+    "attach_session_results",
+    "MIN_SESSION_SPEEDUP",
+    "check_session_gate",
     "BENCH_SCHEMA_VERSION",
     "write_snapshot",
     "load_snapshot",

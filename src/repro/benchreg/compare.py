@@ -13,9 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
-__all__ = ["REGRESSION_THRESHOLD", "Regression", "compare_snapshots"]
+__all__ = [
+    "MIN_SESSION_SPEEDUP",
+    "REGRESSION_THRESHOLD",
+    "Regression",
+    "check_session_gate",
+    "compare_snapshots",
+]
 
 REGRESSION_THRESHOLD = 0.20
+#: the incremental engine must sustain at least this multiple of the
+#: per-window-rebuild throughput on the rolling-session workload
+MIN_SESSION_SPEEDUP = 2.0
 
 
 @dataclass(frozen=True)
@@ -67,3 +76,29 @@ def compare_snapshots(
     for name in sorted(set(base) - set(cur)):
         notes.append(f"benchmark removed: {name}")
     return regressions, notes
+
+
+def check_session_gate(
+    body: Dict[str, Any], min_speedup: float = MIN_SESSION_SPEEDUP
+) -> Tuple[bool, str]:
+    """The rolling-session acceptance gate on one snapshot body.
+
+    Passes iff the snapshot carries a ``session`` block whose incremental
+    throughput is at least ``min_speedup`` times the rebuild engine's.
+    Returns ``(ok, detail)``; a snapshot without a session block fails,
+    so the gate cannot silently pass on a stale pre-session baseline.
+    """
+    block = body.get("session")
+    if not block:
+        return False, "snapshot has no session block (run with sessions on)"
+    speedup = float(block.get("throughput_speedup", 0.0))
+    inc = block.get("incremental", {})
+    reb = block.get("rebuild", {})
+    detail = (
+        f"incremental {inc.get('throughput_txn_s', 0):.0f} txn/s "
+        f"(p99 {inc.get('p99_latency_s', 0) * 1e3:.2f} ms) vs rebuild "
+        f"{reb.get('throughput_txn_s', 0):.0f} txn/s "
+        f"(p99 {reb.get('p99_latency_s', 0) * 1e3:.2f} ms): "
+        f"{speedup:.2f}x (need >= {min_speedup:.1f}x)"
+    )
+    return speedup >= min_speedup, detail

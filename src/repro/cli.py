@@ -177,6 +177,92 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_session(args) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from .core import open_session
+    from .core.transaction import Transaction
+
+    net = _build_network(args)
+    if args.window >= net.n:
+        print(f"error: --window must be < n={net.n} (one txn per node)",
+              file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    homes = {
+        obj: int(node)
+        for obj, node in enumerate(rng.integers(0, net.n, size=args.objects))
+    }
+    total = args.window + args.batch * args.epochs
+    txns = [
+        Transaction(
+            tid,
+            tid % net.n,
+            rng.choice(args.objects, size=args.k, replace=False),
+        )
+        for tid in range(total)
+    ]
+    latencies = []
+    with open_session(
+        net, algo=args.algo, kernel=args.kernel,
+        object_homes=homes, home_policy=args.home_policy,
+    ) as sess:
+        sess.submit(txns[:args.window])
+        sched = sess.current_schedule()
+        print(
+            f"{net.topology.name} n={net.n} mode={sess.mode} "
+            f"algo={sess.algo} window={args.window} batch={args.batch} "
+            f"epochs={args.epochs}"
+        )
+        next_tid = args.window
+        for epoch in range(args.epochs):
+            oldest = sess.active_ids()[:args.batch]
+            batch = txns[next_tid:next_tid + args.batch]
+            t0 = time.perf_counter()
+            sess.commit(oldest)
+            sess.submit(batch)
+            sched = sess.current_schedule()
+            latencies.append(time.perf_counter() - t0)
+            next_tid += args.batch
+            if args.verbose:
+                print(
+                    f"  epoch {epoch:4d}: makespan={sched.makespan:4d} "
+                    f"colors={sched.meta['colors_used']:3d} "
+                    f"{latencies[-1] * 1e3:7.3f} ms"
+                )
+        stats = sess.stats
+    lat = np.asarray(latencies)
+    committed = args.batch * args.epochs
+    summary = {
+        "committed": committed,
+        "throughput_txn_s": committed / float(lat.sum()),
+        "p50_latency_s": float(np.percentile(lat, 50)),
+        "p99_latency_s": float(np.percentile(lat, 99)),
+        "stats": stats,
+    }
+    print(
+        f"committed={committed} "
+        f"throughput={summary['throughput_txn_s']:.0f} txn/s "
+        f"p50={summary['p50_latency_s'] * 1e3:.3f} ms "
+        f"p99={summary['p99_latency_s'] * 1e3:.3f} ms"
+    )
+    print(
+        f"repairs examined={stats.get('repairs_examined', 0)} "
+        f"changed={stats.get('repairs_changed', 0)} "
+        f"full_rebuilds={stats.get('full_rebuilds', 0)} "
+        f"memo hits={stats.get('memo_hits', 0)} "
+        f"misses={stats.get('memo_misses', 0)}"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"session summary written to {args.json}")
+    return 0
+
+
 def _cmd_service(args) -> int:
     import numpy as np
 
@@ -204,7 +290,7 @@ def _cmd_service(args) -> int:
     config = ServiceConfig(
         window=args.window,
         high_water=args.high_water,
-        policy=args.policy,
+        admission=args.policy,
         deadline=args.deadline,
     )
     report = run_service(
@@ -265,7 +351,7 @@ def _cmd_cluster(args) -> int:
         workers=args.workers,
         windows=args.windows,
         heartbeat_timeout_s=args.heartbeat_timeout,
-        restart=RetryPolicy(max_retries=args.max_restarts, max_wait=4),
+        retry=RetryPolicy(max_retries=args.max_restarts, max_wait=4),
         restart_backoff_s=0.02,
         checkpoint_every=args.checkpoint_every,
         on_crash=args.on_crash,
@@ -549,6 +635,34 @@ def main(argv: list[str] | None = None) -> int:
                               "JSON envelope")
     p_sched.add_argument("--gantt", action="store_true")
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_sess = sub.add_parser(
+        "session",
+        help="drive a rolling scheduler session (incremental engine demo)",
+    )
+    p_sess.add_argument("--topology", default="grid")
+    p_sess.add_argument("--size", type=int, default=8,
+                        help="n / side / dim / alpha (per topology)")
+    p_sess.add_argument("--size2", type=int, default=None,
+                        help="cols / beta / ray length where applicable")
+    p_sess.add_argument("--algo", default="auto",
+                        help="scheduler algo (auto routes by topology)")
+    p_sess.add_argument("--kernel", default="auto")
+    p_sess.add_argument("--window", type=int, default=48,
+                        help="live transactions kept in flight")
+    p_sess.add_argument("--batch", type=int, default=8,
+                        help="transactions committed+admitted per epoch")
+    p_sess.add_argument("--epochs", type=int, default=50)
+    p_sess.add_argument("--objects", type=int, default=64)
+    p_sess.add_argument("--k", type=int, default=2)
+    p_sess.add_argument("--home-policy", default="static",
+                        choices=["static", "follow"])
+    p_sess.add_argument("--seed", type=int, default=0)
+    p_sess.add_argument("--verbose", action="store_true",
+                        help="print per-epoch makespan and latency")
+    p_sess.add_argument("--json", default=None, metavar="FILE",
+                        help="write the session summary JSON")
+    p_sess.set_defaults(func=_cmd_session)
 
     p_svc = sub.add_parser(
         "service", help="run the continuous-arrival scheduling service"

@@ -17,6 +17,7 @@ bit-identical -- and the cluster-wide conservation identity
 holds exactly under every supported failure mode.
 """
 
+from ..service.config import LoadControl
 from .chaos import ChaosPlan, WorkerDelay, WorkerKill, WorkerStall
 from .config import ClusterConfig, build_network
 from .journal import WindowJournal, accounting_digest
@@ -29,6 +30,7 @@ __all__ = [
     "ChaosPlan",
     "ClusterConfig",
     "ClusterReport",
+    "LoadControl",
     "ShardedStream",
     "StreamSpec",
     "WindowJournal",

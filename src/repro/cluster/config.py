@@ -10,12 +10,14 @@ first fork, not after three workers have already journaled state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ClusterError, ReproError
 from ..faults.backoff import RetryPolicy
 from ..network.graph import Network
+from ..service.config import LoadControl
 
 __all__ = ["ClusterConfig", "build_network"]
 
@@ -72,14 +74,20 @@ class ClusterConfig:
     poll_interval_s:
         Supervisor event-loop tick (upper bound on detection latency
         added to the timeout).
-    restart:
+    retry:
         Bounded deterministic restart budget per worker -- the same
         :class:`~repro.faults.backoff.RetryPolicy` every fault path in
-        the repo shares.  Restart ``i`` waits
-        ``restart.wait(i) * restart_backoff_s`` seconds; a worker
-        crashing more than ``restart.max_retries`` times is retired
+        the repo shares (and the same field name
+        :class:`~repro.service.ServiceConfig` uses; supply both at once
+        through a shared :class:`~repro.service.LoadControl` via
+        ``control=``).  Restart ``i`` waits
+        ``retry.wait(i) * restart_backoff_s`` seconds; a worker
+        crashing more than ``retry.max_retries`` times is retired
         (queued work counted ``lost``) or, under ``on_crash="strict"``,
-        raises :class:`~repro.errors.WorkerCrashError`.
+        raises :class:`~repro.errors.WorkerCrashError`.  (``restart=``
+        is the pre-1.1.0 spelling: accepted with a
+        :class:`DeprecationWarning` for one release, removal scheduled
+        for 1.2.0.)
     restart_backoff_s:
         Wall-seconds per backoff unit (small in tests, larger in
         production runs).
@@ -102,23 +110,50 @@ class ClusterConfig:
     journal_dir:
         Directory for journals/checkpoints; ``None`` uses a fresh
         temporary directory removed after the run.
+    control:
+        Optional shared :class:`~repro.service.LoadControl` supplying
+        the ``retry`` budget when not explicitly set (the same object a
+        :class:`~repro.service.ServiceConfig` consumes).
     """
 
     workers: int = 2
     windows: int = 12
     heartbeat_timeout_s: float = 5.0
     poll_interval_s: float = 0.05
-    restart: RetryPolicy = field(
-        default_factory=lambda: RetryPolicy(max_retries=3, max_wait=4)
-    )
+    restart: Optional[RetryPolicy] = None  # deprecated alias for ``retry``
     restart_backoff_s: float = 0.02
     checkpoint_every: int = 8
     on_crash: str = "restart"
     on_straggler: str = "restart"
     verify_replay: bool = True
     journal_dir: Optional[str] = None
+    retry: Optional[RetryPolicy] = None
+    control: Optional[LoadControl] = None
 
     def __post_init__(self) -> None:
+        retry = self.retry
+        if self.restart is not None:
+            if retry is None:
+                warnings.warn(
+                    "ClusterConfig(restart=...) is deprecated since 1.1.0 "
+                    "and will be removed in 1.2.0; use retry=... (or a "
+                    "shared LoadControl)",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                retry = self.restart
+            elif self.restart != retry:
+                raise ClusterError(
+                    f"conflicting restart budgets: restart={self.restart!r} "
+                    f"(deprecated alias) vs retry={retry!r}"
+                )
+        if retry is None:
+            retry = (
+                self.control.retry if self.control is not None
+                else RetryPolicy(max_retries=3, max_wait=4)
+            )
+        object.__setattr__(self, "retry", retry)
+        object.__setattr__(self, "restart", retry)  # alias stays readable
         if self.workers < 1:
             raise ClusterError(f"workers must be >= 1, got {self.workers}")
         if self.windows < 1:

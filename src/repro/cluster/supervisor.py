@@ -166,8 +166,8 @@ class _Supervisor:
                 e for e in state.spec.chaos if e.window > crash_window
             ),
         )
-        wait = self.config.restart.wait(min(
-            state.restarts, self.config.restart.max_retries
+        wait = self.config.retry.wait(min(
+            state.restarts, self.config.retry.max_retries
         ))
         time.sleep(wait * self.config.restart_backoff_s)
         state.restarts += 1
@@ -196,7 +196,7 @@ class _Supervisor:
                 f"worker {worker} died at window {state.last_window + 1} "
                 f"(crash policy is strict)"
             )
-        if state.restarts >= self.config.restart.max_retries:
+        if state.restarts >= self.config.retry.max_retries:
             # budget exhausted: retire the slot, queued work becomes loss
             state.end = "retired"
             state.final = dict(state.cumulative)

@@ -18,6 +18,14 @@ from .dispatch import (
 from .kernels import KERNELS, resolve_kernel
 from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
 from .grid import GridScheduler
+from .incremental import (
+    GREEDY_FAMILY,
+    DistanceMemo,
+    IncrementalConflictGraph,
+    IncrementalScheduler,
+    SchedulerSession,
+    open_session,
+)
 from .instance import Instance
 from .line import LineScheduler
 from .retime import compact_schedule
@@ -53,4 +61,10 @@ __all__ = [
     "schedule_instance",
     "KERNELS",
     "resolve_kernel",
+    "GREEDY_FAMILY",
+    "DistanceMemo",
+    "IncrementalConflictGraph",
+    "IncrementalScheduler",
+    "SchedulerSession",
+    "open_session",
 ]

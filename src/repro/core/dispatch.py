@@ -1,19 +1,24 @@
 """One-call scheduling facade and the scheduler capability registry.
 
-:func:`schedule` is the library's single entry point: it reads the
-network's :class:`~repro.network.graph.Topology` tag, picks the paper's
-scheduler for that family (or the one named by ``algo``), threads the
-``kernel`` switch to implementations that support it, and returns a
-feasible schedule.  Unknown/generic topologies fall back to the basic
-greedy schedule, whose ``O(k * ell * d)`` guarantee (§3.1) holds on any
-graph.
+:func:`schedule` is the library's one-shot entry point: it opens a
+single-use :class:`~repro.core.incremental.SchedulerSession`, submits
+the whole instance, and reads the schedule back -- so the batch facade
+and the long-lived session API (:func:`repro.open_session`) are the same
+machinery observed at two cadences.  ``algo`` reads the network's
+:class:`~repro.network.graph.Topology` tag to pick the paper's scheduler
+(unknown families fall back to the generic greedy schedule, whose
+``O(k * ell * d)`` guarantee of §3.1 holds on any graph); ``mode``
+selects the per-call engine: ``"batch"`` (rebuild-and-color, the
+default) or ``"incremental"`` (delta repair -- identical output, see
+:mod:`repro.core.incremental`).
 
 :data:`SCHEDULER_INFO` mirrors the experiment registry's
-``EXPERIMENT_INFO``: one :class:`SchedulerInfo` per paper algorithm with
-its topology family, approximation bound, and capability flags, so the
-CLI and docs enumerate schedulers from one place instead of hard-coding
-the mapping.  The pre-facade entry points (:func:`scheduler_for`,
-:func:`schedule_instance`) remain as thin deprecation shims.
+``EXPERIMENT_INFO``: one :class:`SchedulerInfo` per algorithm with its
+topology family, approximation bound, and capability flags, so the CLI
+and docs enumerate schedulers from one place instead of hard-coding the
+mapping.  The pre-facade entry points (:func:`scheduler_for`,
+:func:`schedule_instance`) remain as deprecation shims for one final
+release (removal scheduled for 1.2.0; see ``docs/API.md``).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from ..errors import SchedulingError
 from .cluster import ClusterScheduler
 from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
 from .grid import GridScheduler
+from .incremental import IncrementalScheduler, SchedulerSession
 from .instance import Instance
 from .kernels import resolve_kernel
 from .line import LineScheduler
@@ -122,6 +128,27 @@ SCHEDULER_INFO: Mapping[str, SchedulerInfo] = {
             frozenset({"kernel", "rng"}),
             StarScheduler,
         ),
+        SchedulerInfo(
+            "incremental",
+            (),
+            "Gamma + 1 (== greedy, §2.3), delta-maintained",
+            frozenset({"kernel"}),
+            IncrementalScheduler,
+        ),
+        SchedulerInfo(
+            "incremental-clique",
+            (),
+            "O(k): k * ell + 1 (Thm 1), delta-maintained",
+            frozenset({"kernel"}),
+            lambda **options: IncrementalScheduler(base="clique", **options),
+        ),
+        SchedulerInfo(
+            "incremental-diameter",
+            (),
+            "O(k d): k * ell * d + 1 (§3.1), delta-maintained",
+            frozenset({"kernel"}),
+            lambda **options: IncrementalScheduler(base="diameter", **options),
+        ),
     )
 }
 
@@ -164,10 +191,17 @@ def schedule(
     *,
     algo: str = "auto",
     kernel: str = "auto",
+    mode: str | None = None,
     rng: np.random.Generator | None = None,
     **options,
 ) -> Schedule:
     """Schedule ``instance`` with one call: ``repro.schedule(inst)``.
+
+    A thin wrapper over a one-shot
+    :class:`~repro.core.incremental.SchedulerSession`: the instance is
+    submitted in a single delta and the session's ``current_schedule()``
+    is returned.  For rolling workloads, hold the session open instead
+    (:func:`repro.open_session`).
 
     Parameters
     ----------
@@ -185,6 +219,11 @@ def schedule(
         ``"auto"``, ``"reference"``, or ``"vectorized"`` (see
         :mod:`repro.core.kernels`); forwarded to schedulers that support
         the switch.  Both kernels produce identical schedules.
+    mode:
+        ``"batch"`` (rebuild-and-color, the default) or ``"incremental"``
+        (delta-repair engine; greedy family only).  Both modes produce
+        identical schedules; ``None`` infers ``"incremental"`` only when
+        ``algo`` names an incremental variant.
     rng:
         Randomness source for randomized schedulers.
     options:
@@ -197,13 +236,30 @@ def schedule(
             "rebuild the Instance to schedule on a different topology"
         )
     resolve_kernel(kernel)  # fail fast on typos, before any work
-    sched = resolve_scheduler(
-        algo,
-        topology=instance.network.topology.name,
+    if mode is None:
+        mode = "incremental" if algo.startswith("incremental") else "batch"
+    if mode not in ("batch", "incremental"):
+        raise SchedulingError(
+            f"schedule(): unknown mode {mode!r}; "
+            "expected 'batch' or 'incremental'"
+        )
+    session_kwargs = {}
+    if mode == "incremental" or algo.startswith("incremental"):
+        if "rebuild_threshold" in options:
+            session_kwargs["rebuild_threshold"] = options.pop("rebuild_threshold")
+    homes = {obj: instance.home(obj) for obj in instance.objects}
+    with SchedulerSession(
+        instance.network,
+        algo=algo,
         kernel=kernel,
-        **options,
-    )
-    return sched.schedule(instance, rng)
+        mode=mode,
+        object_homes=homes,
+        rng=rng,
+        options=options,
+        **session_kwargs,
+    ) as sess:
+        sess.submit(instance.transactions)
+        return sess.current_schedule(instance=instance)
 
 
 # ---------------------------------------------------------------------- #
@@ -214,8 +270,10 @@ def schedule(
 def scheduler_for(instance: Instance) -> Scheduler:
     """Deprecated: use :func:`resolve_scheduler` (or :func:`schedule`)."""
     warnings.warn(
-        "scheduler_for() is deprecated; use repro.schedule(instance) or "
-        "resolve_scheduler(topology=...)",
+        "scheduler_for() is deprecated since 1.1.0 and will be removed in "
+        "1.2.0; migrate to repro.schedule(instance) for one-shot scheduling, "
+        "resolve_scheduler(topology=...) for a scheduler object, or "
+        "repro.open_session(network) for rolling workloads (docs/API.md)",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -227,7 +285,9 @@ def schedule_instance(
 ) -> Schedule:
     """Deprecated: use :func:`schedule`."""
     warnings.warn(
-        "schedule_instance() is deprecated; use repro.schedule(instance)",
+        "schedule_instance() is deprecated since 1.1.0 and will be removed "
+        "in 1.2.0; migrate to repro.schedule(instance) or "
+        "repro.open_session(network) for rolling workloads (docs/API.md)",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -79,7 +79,7 @@ class Instance:
             if not (0 <= v < network.n):
                 raise InstanceError(f"object {o} home {v} outside graph")
 
-        self._users: dict[int, tuple[Transaction, ...]] = {
+        self._users: dict[int, tuple[Transaction, ...]] | None = {
             o: tuple(ts) for o, ts in users.items()
         }
         self._by_tid: dict[int, Transaction] = {
@@ -88,6 +88,40 @@ class Instance:
         self._by_node: dict[int, Transaction] = {
             t.node: t for t in self.transactions
         }
+
+    @classmethod
+    def _from_validated(
+        cls,
+        network: Network,
+        transactions: Sequence[Transaction],
+        object_homes: dict[int, int],
+    ) -> "Instance":
+        """Construct without re-running the constructor checks.
+
+        Fast path for callers that already maintain every constructor
+        invariant themselves (the incremental
+        :class:`~repro.core.incremental.SchedulerSession` validates each
+        delta at submit time): ``transactions`` unique by tid and node,
+        nodes in range, ``object_homes`` covering every used object.
+        The users-per-object index is built lazily on first access.
+        """
+        inst = cls.__new__(cls)
+        inst.network = network
+        inst.transactions = tuple(transactions)
+        inst.object_homes = object_homes
+        inst._users = None
+        inst._by_tid = {t.tid: t for t in inst.transactions}
+        inst._by_node = {t.node: t for t in inst.transactions}
+        return inst
+
+    def _user_index(self) -> dict[int, tuple[Transaction, ...]]:
+        if self._users is None:
+            users: dict[int, list[Transaction]] = {}
+            for t in self.transactions:
+                for o in t.objects:
+                    users.setdefault(o, []).append(t)
+            self._users = {o: tuple(ts) for o, ts in users.items()}
+        return self._users
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -120,16 +154,18 @@ class Instance:
 
     def users(self, obj: int) -> tuple[Transaction, ...]:
         """Transactions requesting object ``obj`` (may be empty)."""
-        return self._users.get(obj, ())
+        return self._user_index().get(obj, ())
 
     def load(self, obj: int) -> int:
         """``ell_i``: number of transactions requesting object ``obj``."""
-        return len(self._users.get(obj, ()))
+        return len(self._user_index().get(obj, ()))
 
     @property
     def max_load(self) -> int:
         """``ell = max_i ell_i``: the heaviest object's user count."""
-        return max((len(ts) for ts in self._users.values()), default=0)
+        return max(
+            (len(ts) for ts in self._user_index().values()), default=0
+        )
 
     def transaction(self, tid: int) -> Transaction:
         """Lookup by transaction id."""
@@ -150,7 +186,7 @@ class Instance:
         This is the paper's standing assumption for the Line/Grid/§8
         constructions; the schedulers remain correct without it.
         """
-        for o, ts in self._users.items():
+        for o, ts in self._user_index().items():
             home = self.object_homes[o]
             if all(t.node != home for t in ts):
                 return False

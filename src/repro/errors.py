@@ -14,6 +14,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "TopologyError",
     "SchedulingError",
+    "SessionError",
     "FaultError",
     "RecoveryError",
     "OverloadError",
@@ -63,6 +64,20 @@ class TopologyError(ReproError):
 
 class SchedulingError(ReproError):
     """A scheduler failed to produce a schedule (internal invariant broken)."""
+
+
+class SessionError(SchedulingError):
+    """A stateful scheduler session was misused.
+
+    Raised by :class:`repro.core.incremental.SchedulerSession` for delta
+    violations the batch :class:`~repro.core.instance.Instance` would
+    reject at construction -- two live transactions on one node, a
+    duplicate live tid, an object without a home -- plus session-specific
+    misuse: committing or aborting a transaction that is not live,
+    reading the schedule of an empty session, operating on a closed
+    session, or requesting the incremental engine for a scheduler
+    outside the greedy family.
+    """
 
 
 class FaultError(ReproError):

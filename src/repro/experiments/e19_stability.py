@@ -35,7 +35,7 @@ def _config(window: int) -> ServiceConfig:
     return ServiceConfig(
         window=window,
         high_water=48,
-        policy="defer",
+        admission="defer",
         detector_horizon=6,
         slope_threshold=0.4,
         on_saturation="shed",

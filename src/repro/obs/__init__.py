@@ -33,6 +33,7 @@ from .events import (
     LostEvent,
     RerouteEvent,
     RetryEvent,
+    SessionDeltaEvent,
     event_from_dict,
     event_to_dict,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "DispatchEvent",
     "CrashEvent",
     "LostEvent",
+    "SessionDeltaEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

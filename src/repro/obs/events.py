@@ -31,6 +31,7 @@ __all__ = [
     "DispatchEvent",
     "CrashEvent",
     "LostEvent",
+    "SessionDeltaEvent",
     "TraceEvent",
     "EVENT_TYPES",
     "event_to_dict",
@@ -141,6 +142,26 @@ class LostEvent:
     reason: str
 
 
+@dataclass(frozen=True)
+class SessionDeltaEvent:
+    """A scheduler session applied a delta (submit / commit / abort).
+
+    ``time`` is the session epoch the delta landed in, ``count`` the
+    number of transactions in the delta, ``dirty`` how many vertices the
+    repair frontier examined, ``repaired`` how many actually changed
+    slot, and ``rebuilt`` whether the bounded frontier gave up and fell
+    back to a full recolor of the live window.
+    """
+
+    kind: ClassVar[str] = "session_delta"
+    time: int
+    op: str
+    count: int
+    dirty: int
+    repaired: int
+    rebuilt: bool
+
+
 TraceEvent = Union[
     HopEvent,
     CommitEvent,
@@ -151,6 +172,7 @@ TraceEvent = Union[
     DispatchEvent,
     CrashEvent,
     LostEvent,
+    SessionDeltaEvent,
 ]
 
 #: wire kind -> event class (the closed vocabulary)
@@ -166,6 +188,7 @@ EVENT_TYPES: Dict[str, type] = {
         DispatchEvent,
         CrashEvent,
         LostEvent,
+        SessionDeltaEvent,
     )
 }
 

@@ -1,5 +1,15 @@
 """Service configuration: one validated knob set for the whole loop.
 
+:class:`LoadControl` is the *shared* load-management vocabulary --
+window length, backpressure watermarks, admission policy, and the
+bounded retry budget -- consumed by both the in-process service
+(:class:`ServiceConfig`) and the multi-process cluster
+(:class:`~repro.cluster.ClusterConfig`).  Before 1.1.0 the two configs
+spelled the same knobs differently (``policy`` vs crash policies,
+``retry`` vs ``restart``); the old spellings are still accepted for one
+release with a :class:`DeprecationWarning`, and conflicting old/new
+spellings are a hard error rather than a silent pick.
+
 :class:`ServiceConfig` bundles every robustness policy the service
 applies -- window length, backpressure watermarks and admission policy,
 per-transaction deadlines, the bounded retry policy for failed windows,
@@ -10,13 +20,14 @@ not three thousand windows in.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ServiceError
 from ..faults.backoff import RetryPolicy
 
-__all__ = ["ServiceConfig"]
+__all__ = ["LoadControl", "ServiceConfig"]
 
 _ADMISSION_POLICIES = ("defer", "shed", "strict")
 _EXPIRY_POLICIES = ("drop", "strict")
@@ -25,8 +36,64 @@ _ENGINES = ("auto", "batch", "reactive")
 
 
 @dataclass(frozen=True)
+class LoadControl:
+    """Shared load-management knobs for the service and the cluster.
+
+    Parameters
+    ----------
+    window:
+        Arrival-window length in time steps.
+    high_water / low_water:
+        Backpressure watermarks on the backlog.  Admission closes when
+        the backlog reaches ``high_water`` and -- hysteresis -- reopens
+        only once it drains below ``low_water`` (default
+        ``high_water // 2``).
+    admission:
+        What a closed gate does with a release: ``"defer"`` queues it
+        FIFO (nothing lost), ``"shed"`` refuses it permanently with a
+        typed reason, ``"strict"`` raises
+        :class:`~repro.errors.OverloadError`.
+    retry:
+        The bounded deterministic :class:`~repro.faults.backoff.RetryPolicy`
+        budget -- window retries in the service, worker restarts in the
+        cluster.
+    """
+
+    window: int = 16
+    high_water: int = 64
+    low_water: Optional[int] = None
+    admission: str = "defer"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ServiceError(f"window must be >= 1, got {self.window}")
+        if self.high_water < 1:
+            raise ServiceError(
+                f"high_water must be >= 1, got {self.high_water}"
+            )
+        if self.low_water is not None and not (
+            0 <= self.low_water <= self.high_water
+        ):
+            raise ServiceError(
+                f"low_water must be in [0, high_water], got {self.low_water}"
+            )
+        if self.admission not in _ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {self.admission!r}; choose from "
+                f"{_ADMISSION_POLICIES}"
+            )
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Validated configuration for :class:`~repro.service.SchedulingService`.
+
+    The load-management quartet (``window``, ``high_water`` /
+    ``low_water``, ``admission``, ``retry``) can be supplied directly,
+    or once through a shared :class:`LoadControl` via ``control=`` (the
+    same object a :class:`~repro.cluster.ClusterConfig` consumes);
+    explicitly passed fields win over the control's.
 
     Parameters
     ----------
@@ -38,11 +105,13 @@ class ServiceConfig:
         Admission closes when the backlog reaches ``high_water`` and --
         hysteresis -- reopens only once it drains below ``low_water``
         (default ``high_water // 2``).
-    policy:
+    admission:
         What a closed gate does with a release: ``"defer"`` queues it
         FIFO (nothing lost), ``"shed"`` refuses it permanently with a
         typed reason, ``"strict"`` raises
-        :class:`~repro.errors.OverloadError`.
+        :class:`~repro.errors.OverloadError`.  (``policy=`` is the
+        pre-1.1.0 spelling: accepted with a :class:`DeprecationWarning`
+        for one release, removal scheduled for 1.2.0.)
     deadline:
         Optional max sojourn (steps since release) before a waiting
         transaction expires; ``None`` disables expiry.
@@ -67,23 +136,26 @@ class ServiceConfig:
         backlog drains; ``"strict"`` raises
         :class:`~repro.errors.SaturationError`.
     engine:
-        ``"batch"`` schedules each window through the
-        :func:`repro.schedule` facade and replays it; ``"reactive"``
-        drives each window through the fault-aware
+        ``"batch"`` feeds each window through the long-lived
+        :class:`~repro.core.incremental.SchedulerSession`;
+        ``"reactive"`` drives each window through the fault-aware
         :func:`~repro.online.run_resilient` runtime; ``"auto"`` (default)
         picks ``batch`` for fault-free service and ``reactive`` once a
         fault plan is attached.
     algo / kernel:
-        Forwarded to :func:`repro.schedule` by the batch engine.
+        Forwarded to the scheduler session by the batch engine.
+    control:
+        Optional shared :class:`LoadControl` supplying the
+        load-management fields not explicitly set.
     """
 
-    window: int = 16
-    high_water: int = 64
+    window: Optional[int] = None
+    high_water: Optional[int] = None
     low_water: Optional[int] = None
-    policy: str = "defer"
+    policy: Optional[str] = None  # deprecated alias for ``admission``
     deadline: Optional[int] = None
     on_expiry: str = "drop"
-    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    retry: Optional[RetryPolicy] = None
     detector_horizon: int = 8
     slope_threshold: float = 0.5
     min_backlog: Optional[int] = None
@@ -91,8 +163,39 @@ class ServiceConfig:
     engine: str = "auto"
     algo: str = "auto"
     kernel: str = "auto"
+    admission: Optional[str] = None
+    control: Optional[LoadControl] = None
 
     def __post_init__(self) -> None:
+        control = self.control if self.control is not None else LoadControl()
+        admission = self.admission
+        if self.policy is not None:
+            if admission is None:
+                warnings.warn(
+                    "ServiceConfig(policy=...) is deprecated since 1.1.0 "
+                    "and will be removed in 1.2.0; use admission=... (or a "
+                    "shared LoadControl)",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                admission = self.policy
+            elif self.policy != admission:
+                raise ServiceError(
+                    f"conflicting admission settings: policy={self.policy!r} "
+                    f"(deprecated alias) vs admission={admission!r}"
+                )
+        if admission is None:
+            admission = control.admission
+        object.__setattr__(self, "admission", admission)
+        object.__setattr__(self, "policy", admission)  # alias stays readable
+        if self.window is None:
+            object.__setattr__(self, "window", control.window)
+        if self.high_water is None:
+            object.__setattr__(self, "high_water", control.high_water)
+        if self.low_water is None:
+            object.__setattr__(self, "low_water", control.low_water)
+        if self.retry is None:
+            object.__setattr__(self, "retry", control.retry)
         if self.window < 1:
             raise ServiceError(f"window must be >= 1, got {self.window}")
         if self.high_water < 1:
@@ -105,9 +208,9 @@ class ServiceConfig:
             raise ServiceError(
                 f"low_water must be in [0, high_water], got {self.low_water}"
             )
-        if self.policy not in _ADMISSION_POLICIES:
+        if self.admission not in _ADMISSION_POLICIES:
             raise ServiceError(
-                f"unknown admission policy {self.policy!r}; choose from "
+                f"unknown admission policy {self.admission!r}; choose from "
                 f"{_ADMISSION_POLICIES}"
             )
         if self.deadline is not None and self.deadline < 1:

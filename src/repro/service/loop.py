@@ -8,9 +8,13 @@ the priority-ordered backlog (window-based greedy contention management
 per Sharma/Estrade/Busch, arXiv:1002.4182) and executed by one of two
 engines:
 
-* **batch** -- the window becomes an :class:`~repro.core.instance.Instance`
-  scheduled through the :func:`repro.schedule` facade (the paper's
-  topology-appropriate scheduler on the vectorized kernels);
+* **batch** -- the window is fed through a long-lived
+  :class:`~repro.core.incremental.SchedulerSession`
+  (``submit`` the batch, ``commit`` it back), so greedy-family
+  topologies get the delta-repair engine with distances memoized across
+  windows while every other topology transparently keeps its paper
+  scheduler -- commit times are bit-identical to the old per-window
+  :func:`repro.schedule` rebuild either way;
 * **reactive** -- the window runs through the fault-aware
   :func:`~repro.online.run_resilient` runtime, consuming the service's
   :class:`~repro.faults.plan.FaultPlan` slice for that span live (hop
@@ -45,8 +49,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.dispatch import schedule as schedule_facade
-from ..core.instance import Instance
+from ..core.incremental import SchedulerSession
 from ..errors import (
     DeadlineExpiredError,
     FaultError,
@@ -150,6 +153,22 @@ class SchedulingService:
             plan.validate_against(stream.network)
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._rec = active(recorder)
+        # the batch engine drives a long-lived scheduler session instead
+        # of rebuilding per window: greedy-family topologies get the
+        # delta-repair engine (identical schedules, memoized distances),
+        # other topologies transparently keep their paper scheduler
+        self._session: SchedulerSession | None = None
+        if self.engine == "batch":
+            self._session = SchedulerSession(
+                stream.network,
+                algo=self.config.algo,
+                kernel=self.config.kernel,
+                mode="auto",
+                object_homes=dict(stream.object_homes),
+                home_policy="static",
+                rng=self._rng,
+                recorder=recorder,
+            )
         self.detector = SaturationDetector(
             horizon=self.config.detector_horizon,
             slope_threshold=self.config.slope_threshold,
@@ -234,7 +253,7 @@ class SchedulingService:
             self._lose(txn.tid, f"objects {sorted(gone)} unrecoverable", now)
             return
         self._update_gate()
-        policy = "shed" if self._shedding() else self.config.policy
+        policy = "shed" if self._shedding() else self.config.admission
         if self._gate_open:
             entry.eligible_window = max(entry.eligible_window, window_index)
             self._backlog.append(entry)
@@ -417,19 +436,14 @@ class SchedulingService:
         """Run one window's batch; commits, losses, and busy accounting."""
         by_tid = {e.txn.tid: e for e in batch}
         if self.engine == "batch":
-            inst = Instance(
-                self.stream.network,
-                [e.txn for e in batch],
-                self._homes_for(batch),
+            assert self._session is not None
+            times, makespan = self._session.run_epoch(
+                [e.txn for e in batch]
             )
-            sched = schedule_facade(
-                inst, algo=self.config.algo, kernel=self.config.kernel,
-                rng=self._rng,
-            )
-            for tid, ct in sorted(sched.commit_times.items()):
+            for tid, ct in sorted(times.items()):
                 self._record_commit(by_tid[tid], exec_start + ct)
-            self._busy_until = exec_start + sched.makespan
-            self._busy += sched.makespan
+            self._busy_until = exec_start + makespan
+            self._busy += makespan
             return
         # reactive: live fault consumption via run_resilient
         crashes = self._mark_crashes(exec_start + self.config.window)

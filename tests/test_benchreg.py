@@ -183,3 +183,104 @@ class TestCommittedSnapshot:
         assert dep["speedup"] >= 3.0
         assert body["results"]["dependency_greedy/vectorized"]["meta"][
             "transactions"] >= 512
+
+
+def _session_block(speedup=2.5):
+    def _engine(total_s):
+        return {
+            "total_s": total_s,
+            "epochs": 100,
+            "throughput_txn_s": 3200.0 / total_s,
+            "p50_latency_s": total_s / 200,
+            "p99_latency_s": total_s / 100,
+            "max_latency_s": total_s / 50,
+        }
+
+    return {
+        "workload": {"topology": "grid", "nodes": 576, "window": 512,
+                     "total": 3200},
+        "incremental": _engine(1.0),
+        "rebuild": _engine(speedup),
+        "throughput_speedup": speedup,
+    }
+
+
+class TestSessionGate:
+    def test_passes_at_or_above_threshold(self):
+        from repro.benchreg import MIN_SESSION_SPEEDUP, check_session_gate
+
+        body = _body({})
+        body["session"] = _session_block(speedup=MIN_SESSION_SPEEDUP)
+        ok, detail = check_session_gate(body)
+        assert ok
+        assert "txn/s" in detail and "p99" in detail
+
+    def test_fails_below_threshold(self):
+        from repro.benchreg import check_session_gate
+
+        body = _body({})
+        body["session"] = _session_block(speedup=1.4)
+        ok, detail = check_session_gate(body)
+        assert not ok
+        assert "1.40x" in detail
+
+    def test_fails_loudly_without_a_session_block(self):
+        # a stale pre-session baseline must not pass silently
+        from repro.benchreg import check_session_gate
+
+        ok, detail = check_session_gate(_body({}))
+        assert not ok
+        assert "no session block" in detail
+
+    def test_custom_threshold(self):
+        from repro.benchreg import check_session_gate
+
+        body = _body({})
+        body["session"] = _session_block(speedup=2.5)
+        assert check_session_gate(body, min_speedup=2.0)[0]
+        assert not check_session_gate(body, min_speedup=3.0)[0]
+
+
+class TestAttachSessionResults:
+    def test_merges_results_speedups_and_block(self):
+        from repro.benchreg import attach_session_results
+
+        body = _body({"a": _res(0.010, 2.0)})
+        block = _session_block(speedup=2.5)
+        out = attach_session_results(body, block)
+        assert out is body  # in place
+        inc = body["results"]["session_rolling/incremental"]
+        reb = body["results"]["session_rolling/rebuild"]
+        assert inc["kernel"] == "vectorized"
+        assert reb["kernel"] == "reference"
+        assert inc["group"] == reb["group"] == "session_rolling"
+        assert inc["raw_s"] == pytest.approx(1.0 / 100)
+        assert inc["meta"]["p99_latency_s"] > 0
+        sp = body["speedups"]["session_rolling"]
+        assert sp["speedup"] == 2.5
+        assert body["session"] is block
+
+    def test_attached_entries_survive_the_generic_compare(self):
+        from repro.benchreg import attach_session_results, compare_snapshots
+
+        base = _body({"a": _res(0.010, 2.0)})
+        attach_session_results(base, _session_block())
+        fresh = json.loads(json.dumps(base))
+        regressions, improvements = compare_snapshots(base, fresh)
+        assert regressions == [] and improvements == []
+
+
+class TestCommittedSessionSnapshot:
+    def test_bench_8_meets_the_session_gate(self):
+        import pathlib
+
+        from repro.benchreg import check_session_gate
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        body = load_snapshot(root / "BENCH_8.json")
+        ok, detail = check_session_gate(body)
+        assert ok, detail
+        block = body["session"]
+        assert block["workload"]["total_transactions"] >= 100_000
+        assert block["incremental"]["p99_latency_s"] > 0
+        assert body["speedups"]["session_rolling"]["speedup"] >= 2.0

@@ -354,7 +354,7 @@ class TestClusterRuns:
     def test_restart_budget_exhaustion_retires_with_typed_loss(self):
         cfg = quick_config(
             workers=2, windows=10,
-            restart=RetryPolicy(max_retries=1, max_wait=2),
+            retry=RetryPolicy(max_retries=1, max_wait=2),
         )
         rep = run_cluster(
             "grid", 3, None, STREAM, SVC, cfg,

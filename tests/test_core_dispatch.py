@@ -9,6 +9,7 @@ from repro.core import (
     schedule_instance,
     scheduler_for,
 )
+from repro.core.dispatch import resolve_scheduler, schedule
 from repro.core.cluster import ClusterScheduler
 from repro.core.greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
 from repro.core.grid import GridScheduler
@@ -45,24 +46,29 @@ class TestDispatch:
     @pytest.mark.parametrize(
         "net,cls", CASES, ids=[n.topology.name for n, _ in CASES]
     )
-    def test_scheduler_for_matches_topology(self, net, cls):
+    def test_resolved_scheduler_matches_topology(self, net, cls):
         rng = np.random.default_rng(0)
         inst = random_k_subsets(net, w=max(2, net.n // 2), k=2, rng=rng)
-        assert isinstance(scheduler_for(inst), cls)
+        assert isinstance(
+            resolve_scheduler(topology=inst.network.topology.name), cls
+        )
 
     def test_generic_falls_back_to_greedy(self):
         net = Network(3, [(0, 1, 1), (1, 2, 1)])
         rng = np.random.default_rng(1)
         inst = random_k_subsets(net, w=2, k=1, rng=rng)
-        assert isinstance(scheduler_for(inst), GreedyScheduler)
+        assert isinstance(
+            resolve_scheduler(topology=inst.network.topology.name),
+            GreedyScheduler,
+        )
 
     @pytest.mark.parametrize(
         "net,cls", CASES, ids=[n.topology.name for n, _ in CASES]
     )
-    def test_schedule_instance_end_to_end(self, net, cls):
+    def test_schedule_end_to_end(self, net, cls):
         rng = np.random.default_rng(2)
         inst = random_k_subsets(net, w=max(2, net.n // 2), k=2, rng=rng)
-        s = schedule_instance(inst, rng)
+        s = schedule(inst, rng=rng)
         s.validate()
 
 
@@ -180,6 +186,56 @@ class TestSchedulerInfo:
         assert greedy.kernel == "reference"
         # LineScheduler has no kernel parameter; make() must not pass one
         SCHEDULER_INFO["line"].make(kernel="reference")
+
+
+class TestIncrementalDispatch:
+    """mode= on the facade and the incremental registry entries."""
+
+    def test_incremental_variants_registered(self):
+        from repro.core import SCHEDULER_INFO
+
+        for name in ("incremental", "incremental-clique",
+                     "incremental-diameter"):
+            info = SCHEDULER_INFO[name]
+            assert info.topologies == ()
+            assert "kernel" in info.capabilities
+            sched = info.make()
+            assert sched.name == name
+
+    def test_incremental_algo_matches_greedy(self):
+        net = grid(4)
+        rng = np.random.default_rng(12)
+        inst = random_k_subsets(net, w=8, k=2, rng=rng)
+        batch = schedule(inst, algo="greedy")
+        inc = schedule(inst, algo="incremental")
+        assert inc.commit_times == batch.commit_times
+        assert inc.meta["engine"] == "incremental"
+        for key in ("colors_used", "h_max", "delta", "gamma", "offset"):
+            assert inc.meta[key] == batch.meta[key]
+
+    def test_mode_incremental_on_plain_algo(self):
+        net = clique(6)
+        rng = np.random.default_rng(13)
+        inst = random_k_subsets(net, w=5, k=2, rng=rng)
+        batch = schedule(inst, algo="clique")
+        inc = schedule(inst, algo="clique", mode="incremental")
+        assert inc.commit_times == batch.commit_times
+
+    def test_incremental_algo_with_batch_mode_contradicts(self):
+        from repro.errors import SessionError
+
+        net = clique(4)
+        rng = np.random.default_rng(14)
+        inst = random_k_subsets(net, w=3, k=2, rng=rng)
+        with pytest.raises(SessionError, match="mode"):
+            schedule(inst, algo="incremental", mode="batch")
+
+    def test_unknown_mode_rejected(self):
+        net = clique(4)
+        rng = np.random.default_rng(15)
+        inst = random_k_subsets(net, w=3, k=2, rng=rng)
+        with pytest.raises(SchedulingError, match="mode"):
+            schedule(inst, mode="turbo")
 
 
 class TestDeprecationShims:

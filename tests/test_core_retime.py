@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import GreedyScheduler, compact_schedule
-from repro.core.dispatch import scheduler_for
+from repro.core.dispatch import resolve_scheduler
 from repro.network import clique, cluster, grid, line, star
 from repro.sim import execute
 from repro.workloads import hot_object_instance, random_k_subsets
@@ -17,7 +17,9 @@ class TestCompaction:
     def test_never_later_and_feasible(self, net):
         rng = np.random.default_rng(net.n)
         inst = random_k_subsets(net, max(2, net.n // 3), 2, rng)
-        original = scheduler_for(inst).schedule(inst, rng)
+        original = resolve_scheduler(
+            topology=inst.network.topology.name
+        ).schedule(inst, rng)
         compacted = compact_schedule(original)
         compacted.validate()
         execute(compacted)

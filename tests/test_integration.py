@@ -23,7 +23,8 @@ from repro.bounds import (
     hard_tree_instance,
     makespan_lower_bound,
 )
-from repro.core import GreedyScheduler, schedule_instance, scheduler_for
+from repro.core import GreedyScheduler, resolve_scheduler
+from repro.core.dispatch import schedule
 from repro.network import (
     butterfly,
     clique,
@@ -59,7 +60,7 @@ def test_paper_scheduler_full_matrix(net, gen, k):
     rng = np.random.default_rng(hash((net.topology.name, gen.__name__, k)) % 2**32)
     w = max(k + 1, net.n // 3)
     inst = gen(net, w, k, rng)
-    s = schedule_instance(inst, rng)
+    s = schedule(inst, rng=rng)
     s.validate()
     trace = execute(s)
     assert trace.makespan == s.makespan
@@ -88,41 +89,59 @@ class TestTheoremEnvelopes:
         for k in (1, 2, 4):
             rng = np.random.default_rng(k)
             inst = random_k_subsets(clique(48), w=16, k=k, rng=rng)
-            ev = evaluate(scheduler_for(inst), inst, rng)
+            ev = evaluate(
+            resolve_scheduler(topology=inst.network.topology.name),
+            inst, rng,
+        )
             assert ev.ratio <= 4 * k + 2
 
     def test_hypercube_o_of_k_logn(self):
         for k in (1, 2):
             rng = np.random.default_rng(10 + k)
             inst = random_k_subsets(hypercube(5), w=12, k=k, rng=rng)
-            ev = evaluate(scheduler_for(inst), inst, rng)
+            ev = evaluate(
+            resolve_scheduler(topology=inst.network.topology.name),
+            inst, rng,
+        )
             assert ev.ratio <= 4 * k * math.log2(inst.network.n) + 2
 
     def test_line_constant_factor(self):
         for seed in range(3):
             rng = np.random.default_rng(seed)
             inst = random_k_subsets(line(100), w=12, k=2, rng=rng)
-            ev = evaluate(scheduler_for(inst), inst, rng)
+            ev = evaluate(
+            resolve_scheduler(topology=inst.network.topology.name),
+            inst, rng,
+        )
             assert ev.ratio <= 6.0  # 4 plus walk/MST slack
 
     def test_grid_o_of_k_logm(self):
         rng = np.random.default_rng(20)
         inst = random_k_subsets(grid(10), w=10, k=2, rng=rng)
-        ev = evaluate(scheduler_for(inst), inst, rng)
+        ev = evaluate(
+            resolve_scheduler(topology=inst.network.topology.name),
+            inst, rng,
+        )
         m = max(inst.network.n, inst.num_objects)
         assert ev.ratio <= 8 * 2 * math.log(m)
 
     def test_cluster_envelope(self):
         rng = np.random.default_rng(30)
         inst = random_k_subsets(cluster(4, 6, gamma=6), w=10, k=2, rng=rng)
-        ev = evaluate(scheduler_for(inst), inst, rng)
+        ev = evaluate(
+            resolve_scheduler(topology=inst.network.topology.name),
+            inst, rng,
+        )
         beta = 6
         assert ev.ratio <= 8 * 2 * beta  # O(k*beta) arm of the min
 
     def test_star_envelope(self):
         rng = np.random.default_rng(40)
         inst = random_k_subsets(star(5, 7), w=10, k=2, rng=rng)
-        ev = evaluate(scheduler_for(inst), inst, rng)
+        ev = evaluate(
+            resolve_scheduler(topology=inst.network.topology.name),
+            inst, rng,
+        )
         beta = 7
         assert ev.ratio <= 8 * math.log2(beta) * 2 * beta
 

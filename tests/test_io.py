@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import GreedyScheduler, schedule_instance, scheduler_for
+from repro.core import GreedyScheduler, resolve_scheduler
+from repro.core.dispatch import schedule
 from repro.errors import ReproError
 from repro.io import (
     instance_from_dict,
@@ -45,7 +46,9 @@ class TestNetworkRoundTrip:
         rng = np.random.default_rng(0)
         net = network_from_dict(network_to_dict(star(3, 5)))
         inst = random_k_subsets(net, w=4, k=2, rng=rng)
-        assert scheduler_for(inst).name == "star"
+        assert resolve_scheduler(
+            topology=inst.network.topology.name
+        ).name == "star"
 
 
 class TestInstanceRoundTrip:
@@ -82,7 +85,7 @@ class TestScheduleRoundTrip:
     def test_makespan_preserved(self):
         rng = np.random.default_rng(4)
         inst = random_k_subsets(grid(4), w=3, k=2, rng=rng)
-        s = schedule_instance(inst, rng)
+        s = schedule(inst, rng=rng)
         assert schedule_from_dict(schedule_to_dict(s)).makespan == s.makespan
 
 

@@ -1,0 +1,125 @@
+"""Tests for the shared LoadControl vocabulary and the 1.1.0 renames.
+
+Since 1.1.0 the service and the cluster spell their load-management
+knobs identically and can share one :class:`LoadControl`; the pre-1.1.0
+spellings (``ServiceConfig(policy=...)``, ``ClusterConfig(restart=...)``)
+are accepted for one release with a :class:`DeprecationWarning`, and a
+conflicting old/new pair is a hard typed error, never a silent pick.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.errors import ClusterError, ServiceError
+from repro.faults.backoff import RetryPolicy
+from repro.service import LoadControl, ServiceConfig
+
+
+class TestLoadControl:
+    def test_defaults_are_valid(self):
+        lc = LoadControl()
+        assert lc.window == 16
+        assert lc.high_water == 64
+        assert lc.low_water is None
+        assert lc.admission == "defer"
+        assert isinstance(lc.retry, RetryPolicy)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"window": 0}, "window"),
+            ({"high_water": 0}, "high_water"),
+            ({"high_water": 8, "low_water": 9}, "low_water"),
+            ({"low_water": -1}, "low_water"),
+            ({"admission": "bribe"}, "admission"),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs, match):
+        with pytest.raises(ServiceError, match=match):
+            LoadControl(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            LoadControl().window = 3
+
+
+class TestServiceConfigAliases:
+    def test_policy_alias_warns_and_maps_to_admission(self):
+        with pytest.warns(DeprecationWarning, match="removed in 1.2.0"):
+            cfg = ServiceConfig(policy="shed")
+        assert cfg.admission == "shed"
+        assert cfg.policy == "shed"  # alias stays readable post-init
+
+    def test_conflicting_policy_and_admission_is_an_error(self):
+        with pytest.raises(ServiceError, match="conflicting admission"):
+            ServiceConfig(policy="shed", admission="defer")
+
+    def test_agreeing_policy_and_admission_accepted_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = ServiceConfig(policy="shed", admission="shed")
+        assert cfg.admission == "shed"
+
+    def test_new_spelling_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = ServiceConfig(admission="strict")
+        assert cfg.admission == "strict"
+
+
+class TestClusterConfigAliases:
+    def test_restart_alias_warns_and_maps_to_retry(self):
+        budget = RetryPolicy(max_retries=5)
+        with pytest.warns(DeprecationWarning, match="removed in 1.2.0"):
+            cfg = ClusterConfig(restart=budget)
+        assert cfg.retry == budget
+        assert cfg.restart == budget  # alias stays readable post-init
+
+    def test_conflicting_restart_and_retry_is_an_error(self):
+        with pytest.raises(ClusterError, match="conflicting restart"):
+            ClusterConfig(
+                restart=RetryPolicy(max_retries=5),
+                retry=RetryPolicy(max_retries=2),
+            )
+
+    def test_new_spelling_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = ClusterConfig(retry=RetryPolicy(max_retries=1))
+        assert cfg.retry.max_retries == 1
+
+
+class TestSharedControl:
+    def test_one_control_feeds_both_configs(self):
+        budget = RetryPolicy(max_retries=7, max_wait=2)
+        lc = LoadControl(
+            window=24, high_water=48, low_water=12,
+            admission="shed", retry=budget,
+        )
+        svc = ServiceConfig(control=lc)
+        clu = ClusterConfig(control=lc)
+        assert (svc.window, svc.high_water, svc.low_water) == (24, 48, 12)
+        assert svc.admission == "shed"
+        assert svc.retry == budget
+        assert clu.retry == budget
+
+    def test_explicit_fields_win_over_control(self):
+        lc = LoadControl(window=24, admission="shed",
+                         retry=RetryPolicy(max_retries=7))
+        svc = ServiceConfig(window=8, admission="defer", control=lc)
+        assert svc.window == 8
+        assert svc.admission == "defer"
+        assert svc.retry.max_retries == 7  # unset field still from control
+        clu = ClusterConfig(retry=RetryPolicy(max_retries=1), control=lc)
+        assert clu.retry.max_retries == 1
+
+    def test_control_without_overrides_validates_as_usual(self):
+        lc = LoadControl(high_water=4, low_water=2)
+        svc = ServiceConfig(control=lc)
+        assert svc.effective_low_water == 2

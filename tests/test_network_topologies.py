@@ -295,9 +295,11 @@ class TestTorus:
     def test_dispatches_to_diameter_scheduler(self):
         import numpy as np
 
-        from repro.core import scheduler_for
+        from repro.core import resolve_scheduler
         from repro.network import torus
         from repro.workloads import random_k_subsets
 
         inst = random_k_subsets(torus(4), 6, 2, np.random.default_rng(0))
-        assert scheduler_for(inst).name == "diameter"
+        assert resolve_scheduler(
+            topology=inst.network.topology.name
+        ).name == "diameter"

@@ -103,7 +103,7 @@ class TestEvents:
     def test_all_registered_kinds_constructible(self):
         assert set(EVENT_TYPES) >= {
             "hop", "commit", "retry", "reroute", "lease_recovery",
-            "admission", "dispatch", "crash", "lost",
+            "admission", "dispatch", "crash", "lost", "session_delta",
         }
 
     def test_unknown_kind_raises(self):
@@ -151,11 +151,13 @@ class TestRecorders:
 
 
 def _make_schedule(seed=4):
-    from repro.core.dispatch import scheduler_for
+    from repro.core.dispatch import resolve_scheduler
 
     net = grid(5)
     inst = random_k_subsets(net, 10, 2, np.random.default_rng(seed))
-    sched = scheduler_for(inst).schedule(inst, np.random.default_rng(seed))
+    sched = resolve_scheduler(
+        topology=inst.network.topology.name
+    ).schedule(inst, np.random.default_rng(seed))
     sched.validate()
     return sched
 

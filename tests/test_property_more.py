@@ -20,8 +20,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bounds import makespan_lower_bound, optimal_schedule
-from repro.core import GreedyScheduler, compact_schedule, schedule_instance
-from repro.core.dispatch import scheduler_for
+from repro.core import GreedyScheduler, compact_schedule
+from repro.core.dispatch import resolve_scheduler, schedule
 from repro.io import (
     instance_from_dict,
     instance_to_dict,
@@ -70,7 +70,7 @@ def topology_instances(draw):
 @settings(max_examples=60, deadline=None)
 def test_topology_schedulers_always_feasible(inst, seed):
     rng = np.random.default_rng(seed)
-    s = schedule_instance(inst, rng)
+    s = schedule(inst, rng=rng)
     s.validate()
     execute(s)
     assert s.makespan >= makespan_lower_bound(inst)
@@ -80,7 +80,9 @@ def test_topology_schedulers_always_feasible(inst, seed):
 @settings(max_examples=60, deadline=None)
 def test_compaction_invariants(inst, seed):
     rng = np.random.default_rng(seed)
-    original = scheduler_for(inst).schedule(inst, rng)
+    original = resolve_scheduler(
+        topology=inst.network.topology.name
+    ).schedule(inst, rng)
     compacted = compact_schedule(original)
     compacted.validate()
     assert compacted.makespan <= original.makespan

@@ -26,7 +26,7 @@ def _evaluation():
 
 
 def _degradation():
-    from repro.core.dispatch import scheduler_for
+    from repro.core.dispatch import resolve_scheduler
     from repro.faults import (
         degradation_report,
         faulty_execute,
@@ -37,7 +37,9 @@ def _degradation():
     net = grid(5)
     rng = np.random.default_rng(7)
     inst = random_k_subsets(net, 10, 2, rng)
-    sched = scheduler_for(inst).schedule(inst, rng)
+    sched = resolve_scheduler(
+        topology=inst.network.topology.name
+    ).schedule(inst, rng)
     plan = random_fault_plan(net, horizon=sched.makespan, rng=rng,
                              crash_rate=0.05, objects=inst.objects)
     return degradation_report(sched, plan, faulty_execute(sched, plan))

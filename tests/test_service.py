@@ -78,7 +78,7 @@ class TestConfig:
             {"window": 0},
             {"high_water": 0},
             {"low_water": 99, "high_water": 10},
-            {"policy": "bounce"},
+            {"admission": "bounce"},
             {"deadline": 0},
             {"on_expiry": "explode"},
             {"detector_horizon": 1},
@@ -206,7 +206,7 @@ class TestServiceBasics:
 
 class TestBackpressure:
     def test_shed_bounds_the_backlog(self):
-        cfg = ServiceConfig(window=8, high_water=10, policy="shed",
+        cfg = ServiceConfig(window=8, high_water=10, admission="shed",
                             slope_threshold=100.0)
         rep = run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
                           windows=30, config=cfg)
@@ -217,7 +217,7 @@ class TestBackpressure:
     def test_defer_loses_nothing(self):
         # slope_threshold high enough that the detector never flips the
         # service into shed mode: pure defer, every release kept
-        cfg = ServiceConfig(window=8, high_water=10, policy="defer",
+        cfg = ServiceConfig(window=8, high_water=10, admission="defer",
                             slope_threshold=1000.0)
         rep = run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
                           windows=30, config=cfg)
@@ -227,7 +227,7 @@ class TestBackpressure:
         assert rep.accounted
 
     def test_strict_raises_overload(self):
-        cfg = ServiceConfig(window=8, high_water=4, policy="strict",
+        cfg = ServiceConfig(window=8, high_water=4, admission="strict",
                             slope_threshold=1000.0)
         with pytest.raises(OverloadError):
             run_service(_stream(line(6), 3.0, key="hot", w=8, k=3),
@@ -334,7 +334,7 @@ class TestRecorderParity:
 
 class TestSaturationBehavior:
     def test_overload_trips_detector_and_sheds(self):
-        cfg = ServiceConfig(window=8, high_water=16, policy="defer",
+        cfg = ServiceConfig(window=8, high_water=16, admission="defer",
                             detector_horizon=4, slope_threshold=0.4)
         rep = run_service(_stream(line(8), 3.0, key="hot", w=8, k=3),
                           windows=40, config=cfg)
@@ -345,7 +345,7 @@ class TestSaturationBehavior:
         assert rep.accounted
 
     def test_strict_saturation_raises(self):
-        cfg = ServiceConfig(window=8, high_water=16, policy="defer",
+        cfg = ServiceConfig(window=8, high_water=16, admission="defer",
                             detector_horizon=4, slope_threshold=0.4,
                             on_saturation="strict")
         with pytest.raises(SaturationError):

@@ -81,7 +81,7 @@ def test_service_accounting_identity(case):
     net = _NETS[topo]
     stream = PoissonStream(net, w=8, k=2, rate=rate,
                            rng=spawn(seed, "prop", topo))
-    cfg = ServiceConfig(window=window, high_water=high_water, policy=policy,
+    cfg = ServiceConfig(window=window, high_water=high_water, admission=policy,
                         deadline=deadline)
     rep = run_service(stream, windows=windows, config=cfg)
     assert rep.accounted

@@ -11,7 +11,8 @@ tests exercise.
 import numpy as np
 import pytest
 
-from repro.core import Instance, Transaction, schedule_instance
+from repro.core import Instance, Transaction
+from repro.core.dispatch import schedule
 from repro.network import (
     butterfly,
     clique,
@@ -53,7 +54,7 @@ NETS = [
 def test_arbitrary_homes_all_topologies(net, seed):
     rng = np.random.default_rng(seed * 1000 + net.n)
     inst = arbitrary_home_instance(net, w=max(3, net.n // 4), k=2, rng=rng)
-    s = schedule_instance(inst, rng)
+    s = schedule(inst, rng=rng)
     s.validate()
     execute(s)
 
@@ -63,7 +64,7 @@ def test_larger_star_geometries(seed):
     rng = np.random.default_rng(seed)
     net = star(12, 33)  # eta = 6 rings, truncated last segment
     inst = arbitrary_home_instance(net, w=32, k=3, rng=rng)
-    s = schedule_instance(inst, rng)
+    s = schedule(inst, rng=rng)
     s.validate()
     execute(s)
 
@@ -73,7 +74,7 @@ def test_larger_cluster_geometries(seed):
     rng = np.random.default_rng(seed)
     net = cluster(9, 7, gamma=15)
     inst = arbitrary_home_instance(net, w=20, k=3, rng=rng)
-    s = schedule_instance(inst, rng)
+    s = schedule(inst, rng=rng)
     s.validate()
     execute(s)
 
@@ -84,7 +85,7 @@ def test_single_object_monopoly_on_every_topology():
         txns = [Transaction(i, node, {0}) for i, node in enumerate(net.nodes())]
         inst = Instance(net, txns, {0: 0})
         rng = np.random.default_rng(net.n)
-        s = schedule_instance(inst, rng)
+        s = schedule(inst, rng=rng)
         s.validate()
         # all commits strictly ordered (they conflict pairwise)
         times = sorted(s.commit_times.values())
@@ -97,6 +98,6 @@ def test_every_transaction_wants_everything():
     rng = np.random.default_rng(0)
     txns = [Transaction(i, i, set(range(4))) for i in range(10)]
     inst = Instance(net, txns, {o: int(rng.integers(0, 10)) for o in range(4)})
-    s = schedule_instance(inst, rng)
+    s = schedule(inst, rng=rng)
     s.validate()
     assert len(set(s.commit_times.values())) == 10
