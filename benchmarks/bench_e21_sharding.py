@@ -1,0 +1,45 @@
+"""Bench E21 (blockchain sharding): sharded vs cluster-greedy."""
+
+import numpy as np
+
+from repro.core import ShardedScheduler
+from repro.experiments import run_experiment
+from repro.network import shard_cluster, shard_members
+from repro.workloads import partitioned_instance
+
+from conftest import SEED
+
+
+def _instance(cross):
+    net = shard_cluster(8, 16, gamma=32)
+    groups = shard_members(net)
+    rng = np.random.default_rng(SEED)
+    return partitioned_instance(
+        net, groups, objects_per_group=8, k=2, cross_fraction=cross, rng=rng
+    ), rng
+
+
+def test_kernel_sharded_low_cross(benchmark):
+    inst, rng = _instance(0.1)
+    sched = ShardedScheduler()
+    result = benchmark(lambda: sched.schedule(inst, rng))
+    assert result.is_feasible()
+
+
+def test_kernel_sharded_high_cross(benchmark):
+    inst, rng = _instance(0.5)
+    sched = ShardedScheduler()
+    result = benchmark(lambda: sched.schedule(inst, rng))
+    assert result.is_feasible()
+
+
+def test_table_e21(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_experiment("e21", seed=SEED, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("e21", table)
+    for row in table.rows:
+        if row["cross"] == 0.0:
+            assert row["mk_sharded"] == row["mk_cluster"]

@@ -60,6 +60,7 @@ from .core import (
     scheduler_for,
 )
 from .core.dispatch import schedule
+from .network import TOPOLOGY_INFO, TopologyInfo, make_network
 
 __version__ = "1.1.0"
 
@@ -95,6 +96,9 @@ __all__ = [
     "resolve_scheduler",
     "SchedulerInfo",
     "SCHEDULER_INFO",
+    "TopologyInfo",
+    "TOPOLOGY_INFO",
+    "make_network",
     "schedule_instance",
     "scheduler_for",
     "get_scheduler",

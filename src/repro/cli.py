@@ -104,25 +104,9 @@ def _cmd_trace(args) -> int:
 
 
 def _build_network(args):
-    from . import network as nets
-    from .errors import ReproError
+    from .network import network_from_sizes
 
-    size, size2 = args.size, args.size2
-    builders = {
-        "clique": lambda: nets.clique(size),
-        "line": lambda: nets.line(size),
-        "grid": lambda: nets.grid(size, size2),
-        "hypercube": lambda: nets.hypercube(size),
-        "butterfly": lambda: nets.butterfly(size),
-        "cluster": lambda: nets.cluster(size, size2 or 4),
-        "star": lambda: nets.star(size, size2 or 7),
-    }
-    try:
-        return builders[args.topology]()
-    except KeyError:
-        raise ReproError(
-            f"unknown topology {args.topology!r}; choose from {sorted(builders)}"
-        ) from None
+    return network_from_sizes(args.topology, args.size, args.size2)
 
 
 def _cmd_schedule(args) -> int:
@@ -344,7 +328,7 @@ def _cmd_cluster(args) -> int:
     stream = StreamSpec(
         kind=args.stream, w=args.objects, k=args.k, rate=args.rate,
         rate_low=args.rate / 4, rate_high=args.rate * 2, burst=args.burst,
-        seed=args.seed,
+        seed=args.seed, assign=args.assign,
     )
     svc = ServiceConfig(window=args.window, high_water=args.high_water)
     config = ClusterConfig(
@@ -554,6 +538,22 @@ def _cmd_schedulers(args) -> int:
     return 0
 
 
+def _cmd_topologies(args) -> int:
+    from .network import TOPOLOGY_INFO
+
+    for info in TOPOLOGY_INFO.values():
+        params = ", ".join(
+            p.name if p.required else f"{p.name}={p.default!r}"
+            for p in info.params
+        )
+        print(
+            f"{info.name:14s} algo={info.default_algo:9s} "
+            f"bound={info.bound_kind:9s} params=({params})"
+        )
+        print(f"{'':14s} {info.doc}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # convenience: bare experiment ids imply `run`
@@ -571,7 +571,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
 
     p_run = sub.add_parser("run", help="run experiment tables")
-    p_run.add_argument("experiments", nargs="+", help="e1..e20 or 'all'")
+    p_run.add_argument("experiments", nargs="+", help="e1..e21 or 'all'")
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--quick", action="store_true")
     p_run.add_argument("--markdown", action="store_true")
@@ -585,7 +585,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep = sub.add_parser(
         "sweep", help="run experiments x seeds across worker processes"
     )
-    p_sweep.add_argument("experiments", nargs="+", help="e1..e20 or 'all'")
+    p_sweep.add_argument("experiments", nargs="+", help="e1..e21 or 'all'")
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0],
                          metavar="S", help="seeds to sweep (default: 0)")
     p_sweep.add_argument("--workers", type=int, default=1,
@@ -718,6 +718,11 @@ def main(argv: list[str] | None = None) -> int:
                       help="adversarial burst bound b")
     p_cl.add_argument("--objects", type=int, default=16)
     p_cl.add_argument("--k", type=int, default=2)
+    p_cl.add_argument("--assign", default="tid",
+                      choices=["tid", "shard"],
+                      help="worker ownership: 'tid' residue classes, or "
+                           "'shard' coordinator-shard handoff (sharded "
+                           "topology families only)")
     p_cl.add_argument("--windows", type=int, default=12,
                       help="arrival windows each worker runs")
     p_cl.add_argument("--window", type=int, default=16,
@@ -771,6 +776,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_list.set_defaults(func=_cmd_schedulers)
 
+    p_topo = sub.add_parser(
+        "topologies",
+        help="list the registered topology families and their parameters",
+    )
+    p_topo.set_defaults(func=_cmd_topologies)
+
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
     p_fig.add_argument("--seed", type=int, default=7)
     p_fig.set_defaults(func=_cmd_figures)
@@ -795,7 +806,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="full sweeps (default: quick)")
     p_rep.add_argument("--json", default=None, metavar="FILE",
                        help="also write every table as JSON")
-    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e20")
+    p_rep.add_argument("experiments", nargs="*", help="subset of e1..e21")
     p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

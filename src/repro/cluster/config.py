@@ -14,7 +14,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import ClusterError, ReproError
+from ..errors import ClusterError
 from ..faults.backoff import RetryPolicy
 from ..network.graph import Network
 from ..service.config import LoadControl
@@ -26,32 +26,25 @@ _STRAGGLER_POLICIES = ("restart", "shed", "strict")
 
 
 def build_network(topology: str, size: int, size2: int | None = None) -> Network:
-    """Build a named topology from its CLI-style size parameters.
+    """Deprecated: use :func:`repro.network.network_from_sizes`.
 
-    ``size`` is n / side / dim / alpha depending on the family;
-    ``size2`` is cols / beta / ray length where applicable.  Shared by
-    the ``repro cluster`` and ``repro service`` CLI commands and the
-    cluster worker processes (each worker rebuilds the network from the
-    same parameters, so all shards see the identical graph).
+    The hard-coded builder table this function used to hold moved into
+    the :data:`~repro.network.registry.TOPOLOGY_INFO` registry; this
+    wrapper forwards to :func:`~repro.network.registry.network_from_sizes`
+    for one release (deprecated since 1.1.0, removal scheduled for
+    1.2.0; see ``docs/API.md``).
     """
-    from .. import network as nets
+    from ..network import network_from_sizes
 
-    builders = {
-        "clique": lambda: nets.clique(size),
-        "line": lambda: nets.line(size),
-        "grid": lambda: nets.grid(size, size2),
-        "hypercube": lambda: nets.hypercube(size),
-        "butterfly": lambda: nets.butterfly(size),
-        "cluster": lambda: nets.cluster(size, size2 or 4),
-        "star": lambda: nets.star(size, size2 or 7),
-    }
-    try:
-        builder = builders[topology]
-    except KeyError:
-        raise ReproError(
-            f"unknown topology {topology!r}; choose from {sorted(builders)}"
-        ) from None
-    return builder()
+    warnings.warn(
+        "cluster.build_network() is deprecated since 1.1.0 and will be "
+        "removed in 1.2.0; use repro.network.network_from_sizes(name, "
+        "size, size2) or repro.network.make_network(name, **params) "
+        "(docs/API.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return network_from_sizes(topology, size, size2)
 
 
 @dataclass(frozen=True)

@@ -67,6 +67,9 @@ class ClusterReport:
     restarts: int
     stragglers: int
     wall_s: float
+    # cross-shard coordination traffic under StreamSpec(assign="shard")
+    # (0 otherwise); defaulted so pre-1.1.0 report JSON still loads
+    cross_shard: int = 0
 
     @property
     def accounted(self) -> bool:
@@ -108,6 +111,7 @@ class ClusterReport:
             "sojourn_p99": self.sojourn_p99,
             "sojourn_mean": self.sojourn_mean,
             "sojourn_max": self.sojourn_max,
+            "cross_shard": self.cross_shard,
             "per_worker": tuple(
                 {
                     k: v
@@ -130,6 +134,7 @@ class ClusterReport:
             "expired": self.expired,
             "lost": self.lost,
             "final_backlog": self.final_backlog,
+            "cross_shard": self.cross_shard,
             "commit_rate": self.commit_rate,
             "sojourn_p50": self.sojourn_p50,
             "sojourn_p99": self.sojourn_p99,
@@ -164,7 +169,7 @@ class ClusterReport:
             f"seed {self.seed}); {path}",
             f"committed {self.committed}/{self.released} "
             f"(shed {self.shed}, expired {self.expired}, lost {self.lost}, "
-            f"queued {self.final_backlog}) "
+            f"queued {self.final_backlog}, cross-shard {self.cross_shard}) "
             f"[{'accounted' if self.accounted else 'LEAK'}]",
             f"sojourn: p50 {self.sojourn_p50:.1f}, p99 "
             f"{self.sojourn_p99:.1f}, mean {self.sojourn_mean:.1f}, "

@@ -1,14 +1,27 @@
 """Deterministic arrival-stream sharding for cluster workers.
 
-Every worker owns a residue class of transaction ids: worker ``i`` of
-``N`` processes exactly the arrivals with ``tid % N == i``.  Rather
-than have the supervisor generate and ship arrivals (a bandwidth and
-ordering headache), each worker builds the *identical* base stream from
-the shared :class:`StreamSpec` -- same seed, same generator, same
+Every worker owns a residue class of *assignment classes*: worker ``i``
+of ``N`` processes exactly the arrivals whose class is ``i (mod N)``.
+Rather than have the supervisor generate and ship arrivals (a bandwidth
+and ordering headache), each worker builds the *identical* base stream
+from the shared :class:`StreamSpec` -- same seed, same generator, same
 arrival sequence -- and filters it down to its residue classes with a
 :class:`ShardedStream`.  The shards are therefore disjoint, their union
 is exactly the unsharded sequence, and a restarted worker re-derives
 its slice from the spec alone (no arrival replay traffic).
+
+Two assignment modes (``StreamSpec.assign``):
+
+* ``"tid"`` (default) -- the class is ``tid`` itself: round-robin over
+  workers, topology-agnostic.
+* ``"shard"`` -- the class is the transaction's **coordinator shard**:
+  the smallest network shard homing any of its objects (its host node's
+  shard when it touches none).  On a sharded topology family
+  (``shard-cluster``/``fog-hierarchy``/``cluster``) this is the
+  blockchain-sharding handoff: every cross-shard transaction is routed
+  to exactly one deterministic coordinator, each worker's ``cross``
+  counter tallies the cross-shard traffic it owns, and the supervisor's
+  merge reconstructs the cluster-wide cross-shard volume.
 
 Ownership is windowed: ``owned_from`` maps each owned residue class to
 the first stream *step* the worker owns it from.  A replacement worker
@@ -24,6 +37,7 @@ from typing import Dict, List, Optional
 
 from ..errors import ClusterError
 from ..network.graph import Network
+from ..network.sharding import node_shards
 from ..online.arrivals import TimedTransaction
 from ..workloads.seeds import spawn
 from ..workloads.streams import (
@@ -36,6 +50,7 @@ from ..workloads.streams import (
 __all__ = ["StreamSpec", "ShardedStream"]
 
 _STREAM_KINDS = ("poisson", "mmpp", "adversarial")
+_ASSIGN_MODES = ("tid", "shard")
 
 
 @dataclass(frozen=True)
@@ -59,12 +74,18 @@ class StreamSpec:
     burst: int = 4
     seed: int = 0
     limit: Optional[int] = None
+    assign: str = "tid"
 
     def __post_init__(self) -> None:
         if self.kind not in _STREAM_KINDS:
             raise ClusterError(
                 f"unknown stream kind {self.kind!r}; choose from "
                 f"{_STREAM_KINDS}"
+            )
+        if self.assign not in _ASSIGN_MODES:
+            raise ClusterError(
+                f"unknown assignment mode {self.assign!r}; choose from "
+                f"{_ASSIGN_MODES}"
             )
 
     def build(self, net: Network) -> ArrivalStream:
@@ -105,9 +126,15 @@ class ShardedStream:
         base: ArrivalStream,
         shards: int,
         owned_from: Dict[int, int],
+        assign: str = "tid",
     ) -> None:
         if shards < 1:
             raise ClusterError(f"shards must be >= 1, got {shards}")
+        if assign not in _ASSIGN_MODES:
+            raise ClusterError(
+                f"unknown assignment mode {assign!r}; choose from "
+                f"{_ASSIGN_MODES}"
+            )
         for residue, step in owned_from.items():
             if not 0 <= residue < shards:
                 raise ClusterError(
@@ -120,7 +147,14 @@ class ShardedStream:
         self.base = base
         self.shards = int(shards)
         self.owned_from = {int(c): int(s) for c, s in owned_from.items()}
+        self.assign = assign
+        # shard assignment needs the network's shard partition up front;
+        # raising TopologyError here fails the cluster before any fork
+        self._shard_of = (
+            node_shards(base.network) if assign == "shard" else None
+        )
         self._released = 0
+        self._cross = 0
 
     # ------------------------------------------------------------------ #
     # the stream surface the service consumes
@@ -151,9 +185,35 @@ class ShardedStream:
         """Owned arrivals released through this shard so far."""
         return self._released
 
-    def owns(self, tid: int, release: int) -> bool:
-        """True iff this shard owns transaction ``tid`` released at ``release``."""
-        start = self.owned_from.get(tid % self.shards)
+    @property
+    def cross_released(self) -> int:
+        """Owned cross-shard arrivals so far (0 under ``assign="tid"``)."""
+        return self._cross
+
+    def _home_shards(self, txn) -> set:
+        """Network shards homing ``txn``'s objects (empty when object-free)."""
+        homes = self.base.object_homes
+        return {self._shard_of[homes[obj]] for obj in txn.objects}
+
+    def class_of(self, txn) -> int:
+        """Deterministic assignment class of one transaction.
+
+        ``"tid"`` mode is the plain residue class.  ``"shard"`` mode is
+        the coordinator handoff: the smallest network shard homing any
+        of the transaction's objects (its host node's shard when it has
+        none), folded mod ``shards`` -- every worker computes the same
+        coordinator from the spec alone, so cross-shard transactions are
+        owned by exactly one worker with no supervisor traffic.
+        """
+        if self.assign == "tid":
+            return txn.tid % self.shards
+        shards = self._home_shards(txn)
+        coordinator = min(shards) if shards else self._shard_of[txn.node]
+        return coordinator % self.shards
+
+    def owns(self, txn, release: int) -> bool:
+        """True iff this shard owns ``txn`` released at step ``release``."""
+        start = self.owned_from.get(self.class_of(txn))
         return start is not None and release >= start
 
     def window(self, start: int, end: int) -> List[TimedTransaction]:
@@ -161,14 +221,20 @@ class ShardedStream:
 
         The base stream still generates every arrival (keeping the
         generator aligned across all workers); this shard keeps only the
-        residue classes it owns at each release step.
+        residue classes it owns at each release step.  Under
+        ``assign="shard"`` the owned cross-shard arrivals (objects homed
+        in >= 2 network shards) are tallied in :attr:`cross_released`.
         """
         kept = [
             tt
             for tt in self.base.window(start, end)
-            if self.owns(tt.txn.tid, tt.release)
+            if self.owns(tt.txn, tt.release)
         ]
         self._released += len(kept)
+        if self._shard_of is not None:
+            self._cross += sum(
+                1 for tt in kept if len(self._home_shards(tt.txn)) >= 2
+            )
         return kept
 
     # ------------------------------------------------------------------ #
@@ -180,22 +246,32 @@ class ShardedStream:
         return {
             "base": self.base.state_dict(),
             "released": self._released,
+            "cross": self._cross,
             "shards": self.shards,
             "owned_from": {str(c): s for c, s in self.owned_from.items()},
+            "assign": self.assign,
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
         """Restore a snapshot taken by :meth:`state_dict`."""
         self.base.load_state(state["base"])  # type: ignore[arg-type]
         self._released = int(state["released"])  # type: ignore[arg-type]
+        # pre-1.1.0 snapshots predate the cross counter and assign mode
+        self._cross = int(state.get("cross", 0))  # type: ignore[arg-type]
         self.shards = int(state["shards"])  # type: ignore[arg-type]
         self.owned_from = {
             int(c): int(s)
             for c, s in state["owned_from"].items()  # type: ignore[union-attr]
         }
+        assign = str(state.get("assign", self.assign))
+        if assign != self.assign:
+            raise ClusterError(
+                f"snapshot assignment mode {assign!r} does not match this "
+                f"stream's {self.assign!r}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"ShardedStream(shards={self.shards}, "
+            f"ShardedStream(shards={self.shards}, assign={self.assign!r}, "
             f"owned_from={self.owned_from}, released={self._released})"
         )

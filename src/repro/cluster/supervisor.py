@@ -63,7 +63,7 @@ def _percentile(sorted_values: List[int], q: float) -> float:
 
 _EMPTY_ACCOUNTING = {
     "released": 0, "committed": 0, "shed": 0,
-    "expired": 0, "lost": 0, "backlog": 0,
+    "expired": 0, "lost": 0, "backlog": 0, "cross": 0,
 }
 
 
@@ -366,11 +366,14 @@ class _Supervisor:
                 "expired": final["expired"],
                 "lost": final["lost"],
                 "final_backlog": final["backlog"],
+                "cross": final.get("cross", 0),
                 "end": state.end or "lost",
                 "restarts": state.restarts,
                 "replayed": state.replayed,
             })
         sojourns.sort()
+        if totals["cross"]:
+            self.rec.count("cluster.cross_shard", totals["cross"])
         engine = (
             self.service.engine if self.service.engine != "auto" else "batch"
         )
@@ -399,6 +402,7 @@ class _Supervisor:
             restarts=self.total_restarts,
             stragglers=self.stragglers,
             wall_s=round(wall_s, 6),
+            cross_shard=totals["cross"],
         )
 
 

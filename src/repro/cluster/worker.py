@@ -29,9 +29,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ClusterError, ReproError
+from ..network.registry import network_from_sizes
 from ..service import SchedulingService, ServiceConfig
 from .chaos import ChaosEvent, WorkerDelay, WorkerKill, WorkerStall
-from .config import build_network
 from .journal import WindowJournal, accounting_digest
 from .shard import ShardedStream, StreamSpec
 from .wire import MSG_DONE, MSG_ERROR, MSG_HELLO, MSG_WINDOW, encode_message
@@ -73,10 +73,26 @@ class WorkerSpec:
 
     def build_service(self) -> SchedulingService:
         """Deterministically rebuild this worker's sharded service."""
-        net = build_network(self.topology, self.size, self.size2)
+        net = network_from_sizes(self.topology, self.size, self.size2)
         base = self.stream.build(net)
-        sharded = ShardedStream(base, self.shards, dict(self.owned_from))
+        sharded = ShardedStream(
+            base, self.shards, dict(self.owned_from),
+            assign=self.stream.assign,
+        )
         return SchedulingService(sharded, self.service)
+
+
+def _accounting(service: SchedulingService) -> Dict[str, int]:
+    """The service's conservation counters plus the cross-shard tally.
+
+    The single accounting view the worker journals, digests, and ships:
+    journal digests in :func:`worker_main` and the replay verification
+    in :func:`_recover` MUST both go through this helper, or a recovered
+    worker's digest diverges from the one it journaled.
+    """
+    counters = service.accounting()
+    counters["cross"] = int(getattr(service.stream, "cross_released", 0))
+    return counters
 
 
 def _recover(
@@ -105,7 +121,7 @@ def _recover(
             )
         service.run_window(window)
         if spec.verify_replay:
-            digest = accounting_digest(service.accounting())
+            digest = accounting_digest(_accounting(service))
             if digest != rec["digest"]:
                 raise ClusterError(
                     f"worker {spec.worker}: replay of window {window} "
@@ -158,7 +174,7 @@ def worker_main(conn: Any, spec: WorkerSpec) -> None:
             if isinstance(event, (WorkerStall, WorkerDelay)):
                 time.sleep(event.seconds)
             service.run_window(window)
-            cumulative = service.accounting()
+            cumulative = _accounting(service)
             digest = accounting_digest(cumulative)
             journal.append(window, digest, cumulative)
             if (window + 1) % spec.checkpoint_every == 0:
@@ -174,7 +190,7 @@ def worker_main(conn: Any, spec: WorkerSpec) -> None:
             "replayed": replayed,
             "report": service.report().to_json(),
             "sojourns": service.sojourn_samples(),
-            "accounting": service.accounting(),
+            "accounting": _accounting(service),
         }))
         conn.close()
     except ReproError as exc:

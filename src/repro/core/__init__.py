@@ -31,6 +31,13 @@ from .line import LineScheduler
 from .retime import compact_schedule
 from .schedule import Schedule, Visit
 from .scheduler import Scheduler, available_schedulers, get_scheduler
+from .sharded import (
+    ShardedClusterScheduler,
+    ShardedScheduler,
+    ShardSplit,
+    cross_shard_ratio,
+    shard_split,
+)
 from .star import StarScheduler
 from .transaction import Transaction
 
@@ -54,6 +61,11 @@ __all__ = [
     "ClusterScheduler",
     "object_cluster_spread",
     "StarScheduler",
+    "ShardedScheduler",
+    "ShardedClusterScheduler",
+    "ShardSplit",
+    "shard_split",
+    "cross_shard_ratio",
     "SchedulerInfo",
     "SCHEDULER_INFO",
     "resolve_scheduler",

@@ -89,7 +89,10 @@ class ClusterScheduler(Scheduler):
         self, instance: Instance, rng: np.random.Generator | None = None
     ) -> Schedule:
         net = instance.network
-        if net.topology.name != "cluster":
+        # any cluster-family network qualifies: the §6 graph itself or a
+        # sharded variant carrying the same clusters/bridges/gamma metadata
+        # (e.g. shard-cluster, which is a cluster graph with shard semantics)
+        if "clusters" not in net.topology.params:
             raise TopologyError(
                 f"ClusterScheduler needs a 'cluster' network, got "
                 f"{net.topology.name!r}"

@@ -30,6 +30,7 @@ from typing import Callable, Mapping, Tuple
 import numpy as np
 
 from ..errors import SchedulingError
+from ..network.registry import TOPOLOGY_INFO
 from .cluster import ClusterScheduler
 from .greedy import CliqueScheduler, DiameterScheduler, GreedyScheduler
 from .grid import GridScheduler
@@ -39,6 +40,7 @@ from .kernels import resolve_kernel
 from .line import LineScheduler
 from .schedule import Schedule
 from .scheduler import Scheduler
+from .sharded import ShardedClusterScheduler, ShardedScheduler
 from .star import StarScheduler
 
 __all__ = [
@@ -129,6 +131,21 @@ SCHEDULER_INFO: Mapping[str, SchedulerInfo] = {
             StarScheduler,
         ),
         SchedulerInfo(
+            "sharded",
+            ("shard-cluster", "fog-hierarchy"),
+            "intra phases in parallel + serial cross-shard phase "
+            "(arXiv:2405.15015)",
+            frozenset({"kernel"}),
+            ShardedScheduler,
+        ),
+        SchedulerInfo(
+            "sharded-cluster",
+            (),
+            "sharded with Alg-1 randomized cross-phase rounds (w.h.p.)",
+            frozenset({"kernel", "rng"}),
+            ShardedClusterScheduler,
+        ),
+        SchedulerInfo(
             "incremental",
             (),
             "Gamma + 1 (== greedy, §2.3), delta-maintained",
@@ -152,10 +169,12 @@ SCHEDULER_INFO: Mapping[str, SchedulerInfo] = {
     )
 }
 
+# Auto-dispatch routes each topology family to the algorithm its
+# TOPOLOGY_INFO registry entry names; SCHEDULER_INFO's `topologies`
+# fields must agree (a registry-drift test enforces the consistency in
+# both directions).  Unknown families fall back to "greedy" at lookup.
 _TOPOLOGY_TO_ALGO = {
-    topo: info.name
-    for info in SCHEDULER_INFO.values()
-    for topo in info.topologies
+    name: info.default_algo for name, info in TOPOLOGY_INFO.items()
 }
 
 

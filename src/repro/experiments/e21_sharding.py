@@ -1,0 +1,135 @@
+"""E21 -- blockchain sharding: two-phase sharded vs plain cluster-greedy.
+
+The blockchain-sharding recast (arXiv:2405.15015) splits the workload
+by the objects' home shards: intra-shard transactions run in parallel
+per-shard greedy phases, and only the cross-shard remainder pays the
+serialized inter-shard phase.  This sweep drives the cross-shard
+fraction on ``shard_cluster`` graphs (``gamma = 2 * shard_size``, the
+costly-handoff regime) and compares three schedulers on identical
+instances:
+
+* ``cluster`` (Approach 1) -- the plain §6 cluster-greedy baseline, one
+  global colouring that interleaves intra and cross transactions;
+* ``sharded`` -- the two-phase scheduler with a deterministic
+  cluster-greedy cross phase;
+* ``sharded-cluster`` -- the same intra phases with the Algorithm-1
+  randomized activation rounds driving the cross phase.
+
+Expected shape: at ``cross = 0`` the two-phase split degenerates to the
+baseline (both are per-shard greedy); at *low nonzero* cross fractions
+the sharded scheduler wins -- often by 2-4x -- because the few
+gamma-weight cross conflicts no longer inflate the colouring the intra
+majority pays; at high fractions the serialized cross phase dominates
+and the global interleaving wins back.
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import evaluate
+from ..analysis.stats import summarize
+from ..analysis.tables import Table
+from ..core.cluster import ClusterScheduler
+from ..core.sharded import (
+    ShardedClusterScheduler,
+    ShardedScheduler,
+    cross_shard_ratio,
+)
+from ..network.sharding import shard_cluster, shard_members
+from ..obs.recorder import Recorder
+from ..workloads.generators import partitioned_instance
+from ..workloads.seeds import spawn
+
+EXP_ID = "e21"
+TITLE = "E21 (blockchain sharding): two-phase sharded vs cluster-greedy"
+SUPPORTS_RECORDER = True
+
+
+def run(
+    seed: int | None = None,
+    quick: bool = False,
+    recorder: Recorder | None = None,
+) -> Table:
+    configs = [(4, 6)] if quick else [(4, 6), (6, 8)]
+    crosses = [0.0, 0.1, 0.4] if quick else [0.0, 0.05, 0.1, 0.2, 0.4]
+    trials = 2 if quick else 5
+    k = 2
+    table = Table(
+        TITLE,
+        columns=[
+            "shards",
+            "shard_size",
+            "cross",
+            "cross_ratio",
+            "mk_cluster",
+            "mk_sharded",
+            "mk_rounds",
+            "winner",
+            "lower_bound",
+            "ratio_sharded",
+        ],
+    )
+    for shards, shard_size in configs:
+        net = shard_cluster(shards, shard_size, gamma=2 * shard_size)
+        groups = shard_members(net)
+        for cross in crosses:
+            mkc, mks, mkr, lbs, ratios, measured = [], [], [], [], [], []
+            for trial in range(trials):
+                rng = spawn(seed, EXP_ID, shards, shard_size, cross, trial)
+                inst = partitioned_instance(
+                    net,
+                    groups,
+                    objects_per_group=shard_size,
+                    k=k,
+                    cross_fraction=cross,
+                    rng=rng,
+                )
+                measured.append(cross_shard_ratio(inst))
+                ec = evaluate(
+                    ClusterScheduler(approach=1), inst, rng,
+                    recorder=recorder,
+                )
+                es = evaluate(
+                    ShardedScheduler(), inst, rng,
+                    lower_bound=ec.lower_bound, recorder=recorder,
+                )
+                rng_rounds = spawn(
+                    seed, EXP_ID, shards, shard_size, cross, trial, "rounds"
+                )
+                er = evaluate(
+                    ShardedClusterScheduler(), inst, rng_rounds,
+                    lower_bound=ec.lower_bound, recorder=recorder,
+                )
+                mkc.append(ec.makespan)
+                mks.append(es.makespan)
+                mkr.append(er.makespan)
+                lbs.append(ec.lower_bound)
+                ratios.append(es.ratio)
+            mc, ms = summarize(mkc).mean, summarize(mks).mean
+            table.add(
+                shards=shards,
+                shard_size=shard_size,
+                cross=cross,
+                cross_ratio=summarize(measured).mean,
+                mk_cluster=mc,
+                mk_sharded=ms,
+                mk_rounds=summarize(mkr).mean,
+                winner="sharded" if ms < mc else (
+                    "tie" if ms == mc else "cluster"
+                ),
+                lower_bound=summarize(lbs).mean,
+                ratio_sharded=summarize(ratios).mean,
+            )
+    table.add_note(
+        "Baseline is the §6 cluster-greedy (Approach 1) on the same "
+        "shard_cluster graph (it carries the cluster aliases, so Theorem "
+        "4's scheduler runs unchanged).  gamma = 2 * shard_size makes "
+        "cross-shard handoffs costly, the regime sharding targets."
+    )
+    table.add_note(
+        "The sharded win lives at low nonzero cross fractions: the "
+        "intra majority stops paying for the few gamma-weight cross "
+        "conflicts.  At cross=0 the phases degenerate to the baseline; "
+        "past ~0.4 the serialized cross phase dominates and the global "
+        "interleaving wins back."
+    )
+    return table

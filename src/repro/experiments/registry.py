@@ -47,6 +47,7 @@ from . import (
     e18_online_faults,
     e19_stability,
     e20_cluster,
+    e21_sharding,
 )
 
 __all__ = [
@@ -78,6 +79,7 @@ _MODULES = [
     e18_online_faults,
     e19_stability,
     e20_cluster,
+    e21_sharding,
 ]
 
 #: the exact parameter contract every experiment ``run`` must expose

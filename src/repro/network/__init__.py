@@ -1,7 +1,28 @@
-"""Network substrate: weighted graphs and specialized topology builders."""
+"""Network substrate: weighted graphs and specialized topology builders.
+
+Families are enumerated by the :data:`~repro.network.registry.TOPOLOGY_INFO`
+registry and built uniformly via :func:`~repro.network.registry.make_network`;
+the direct constructors below remain the registry's factories and stay
+importable.
+"""
 
 from .graph import Network, Topology
 from .masked import MaskedNetwork, masked_csr
+from .registry import (
+    TOPOLOGY_INFO,
+    TopologyInfo,
+    TopologyParam,
+    make_network,
+    network_from_sizes,
+    topology_names,
+)
+from .sharding import (
+    SHARDED_FAMILIES,
+    fog_hierarchy,
+    node_shards,
+    shard_cluster,
+    shard_members,
+)
 from .topologies import (
     butterfly,
     clique,
@@ -23,6 +44,12 @@ __all__ = [
     "MaskedNetwork",
     "masked_csr",
     "Topology",
+    "TopologyInfo",
+    "TopologyParam",
+    "TOPOLOGY_INFO",
+    "make_network",
+    "network_from_sizes",
+    "topology_names",
     "clique",
     "line",
     "grid",
@@ -36,4 +63,9 @@ __all__ = [
     "ddim_grid",
     "lower_bound_grid",
     "lower_bound_tree",
+    "shard_cluster",
+    "fog_hierarchy",
+    "shard_members",
+    "node_shards",
+    "SHARDED_FAMILIES",
 ]

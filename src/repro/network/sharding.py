@@ -1,0 +1,204 @@
+"""Sharded topology families and shard-membership helpers.
+
+The blockchain-sharding model of Adhikari/Busch/Popovic (arXiv:2405.15015)
+recasts the paper's scheduling problem for a cluster of *shards*: each
+shard is a tightly-coupled committee (a clique of unit-weight edges) and
+shards communicate through designated leader nodes over expensive
+inter-shard links.  The fog-cloud hierarchy of Adhikari/Busch/Poudel
+(arXiv:2511.09776) extends the same move to a multi-tier tree of
+shard committees (cloud -> fog -> edge).
+
+Both builders tag the returned :class:`~repro.network.graph.Network`
+with *shard-membership metadata* -- the exact node partition, one tuple
+per shard -- so downstream layers (the sharded scheduler, the cluster
+workers, the certificate checker) can classify transactions as intra-
+vs cross-shard without re-detecting structure from edge weights:
+
+* ``members`` -- tuple of per-shard node tuples (a disjoint, covering
+  partition of ``0..n-1``);
+* ``leaders`` -- the designated inter-shard gateway node of each shard.
+
+:func:`shard_cluster` additionally carries the cluster-family aliases
+(``alpha``/``beta``/``gamma``/``clusters``/``bridges``) because a shard
+cluster *is* a §6 cluster graph with shard semantics layered on top --
+so the Theorem 4 :class:`~repro.core.cluster.ClusterScheduler` runs on
+it unchanged, which is exactly the baseline E21 compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import GraphError, TopologyError
+from .graph import Network, Topology
+
+__all__ = [
+    "shard_cluster",
+    "fog_hierarchy",
+    "shard_members",
+    "node_shards",
+    "SHARDED_FAMILIES",
+]
+
+#: topology family names that carry shard-membership metadata
+SHARDED_FAMILIES: Tuple[str, ...] = ("shard-cluster", "fog-hierarchy", "cluster")
+
+
+def shard_cluster(
+    shards: int, shard_size: int, gamma: int | None = None
+) -> Network:
+    """``shards`` committee cliques of ``shard_size`` nodes each.
+
+    Shard ``j`` occupies node ids ``[j*shard_size, (j+1)*shard_size)``;
+    its leader is the base node ``j*shard_size``.  Intra-shard edges have
+    unit weight; every pair of leaders is joined by an inter-shard edge
+    of weight ``gamma`` (default ``shard_size``; requires
+    ``gamma >= shard_size`` as in the §6 cluster model, so the expensive
+    hop is always the inter-shard one).
+    """
+    if shards < 1 or shard_size < 1:
+        raise GraphError(
+            f"shard_cluster needs shards,shard_size >= 1, got "
+            f"{shards},{shard_size}"
+        )
+    if gamma is None:
+        gamma = max(shard_size, 1)
+    if gamma < shard_size:
+        raise GraphError(
+            f"shard_cluster requires gamma >= shard_size, got "
+            f"{gamma} < {shard_size}"
+        )
+    edges = []
+    members = []
+    leaders = []
+    for j in range(shards):
+        base = j * shard_size
+        members.append(tuple(range(base, base + shard_size)))
+        leaders.append(base)
+        for a in range(shard_size):
+            for b in range(a + 1, shard_size):
+                edges.append((base + a, base + b, 1))
+    for i in range(shards):
+        for j in range(i + 1, shards):
+            edges.append((leaders[i], leaders[j], gamma))
+    topo = Topology(
+        "shard-cluster",
+        {
+            "shards": shards,
+            "shard_size": shard_size,
+            "gamma": gamma,
+            "members": tuple(members),
+            "leaders": tuple(leaders),
+            # cluster-family aliases: a shard cluster is a §6 cluster
+            # graph, so the Theorem 4 scheduler runs on it unchanged.
+            "alpha": shards,
+            "beta": shard_size,
+            "clusters": tuple(members),
+            "bridges": tuple(leaders),
+        },
+    )
+    return Network(shards * shard_size, edges, topo)
+
+
+def fog_hierarchy(
+    tiers: int,
+    fanout: int = 2,
+    shard_size: int = 4,
+    gamma: int | None = None,
+) -> Network:
+    """Multi-tier fog/cloud hierarchy of shard committees.
+
+    Tier ``t`` (``0 <= t < tiers``) holds ``fanout**t`` shards -- one
+    cloud shard at the root, fanning out toward the edge tier.  Every
+    shard is a clique of ``shard_size`` nodes with unit weights; each
+    non-root shard's leader links to its parent shard's leader with an
+    uplink of weight ``gamma * (tiers - t)`` -- uplinks grow toward the
+    cloud, mirroring the fog model's cheap edge-to-fog / expensive
+    fog-to-cloud communication (``gamma`` defaults to ``shard_size``
+    and must be at least ``shard_size``).
+
+    Shards are indexed in BFS order (shard 0 = cloud; children of shard
+    ``s`` are ``s*fanout + 1 .. s*fanout + fanout``); shard ``s``
+    occupies node ids ``[s*shard_size, (s+1)*shard_size)`` with its
+    leader at the base id.
+    """
+    if tiers < 1:
+        raise GraphError(f"fog_hierarchy needs tiers >= 1, got {tiers}")
+    if fanout < 1:
+        raise GraphError(f"fog_hierarchy needs fanout >= 1, got {fanout}")
+    if shard_size < 1:
+        raise GraphError(
+            f"fog_hierarchy needs shard_size >= 1, got {shard_size}"
+        )
+    if gamma is None:
+        gamma = max(shard_size, 1)
+    if gamma < shard_size:
+        raise GraphError(
+            f"fog_hierarchy requires gamma >= shard_size, got "
+            f"{gamma} < {shard_size}"
+        )
+    if fanout == 1:
+        num_shards = tiers
+    else:
+        num_shards = (fanout ** tiers - 1) // (fanout - 1)
+    edges = []
+    members = []
+    leaders = []
+    tier_of = []
+    tier, next_tier_start = 0, 1
+    for s in range(num_shards):
+        if s >= next_tier_start:
+            tier += 1
+            next_tier_start += fanout ** tier
+        tier_of.append(tier)
+        base = s * shard_size
+        members.append(tuple(range(base, base + shard_size)))
+        leaders.append(base)
+        for a in range(shard_size):
+            for b in range(a + 1, shard_size):
+                edges.append((base + a, base + b, 1))
+        if s > 0:
+            parent = (s - 1) // fanout
+            uplink = gamma * (tiers - tier_of[s])
+            edges.append((leaders[parent], leaders[s], max(uplink, gamma)))
+    topo = Topology(
+        "fog-hierarchy",
+        {
+            "tiers": tiers,
+            "fanout": fanout,
+            "shard_size": shard_size,
+            "gamma": gamma,
+            "shards": num_shards,
+            "members": tuple(members),
+            "leaders": tuple(leaders),
+            "tier_of": tuple(tier_of),
+        },
+    )
+    return Network(num_shards * shard_size, edges, topo)
+
+
+def shard_members(net: Network) -> Tuple[Tuple[int, ...], ...]:
+    """The shard partition carried on ``net``'s topology metadata.
+
+    Accepts any :data:`SHARDED_FAMILIES` member: the native sharded
+    topologies expose ``members``; the §6 ``cluster`` family's
+    ``clusters`` partition doubles as its shard partition.  Raises
+    :class:`~repro.errors.TopologyError` for unsharded families.
+    """
+    params = net.topology.params
+    shards = params.get("members", params.get("clusters"))
+    if shards is None:
+        raise TopologyError(
+            f"topology {net.topology.name!r} carries no shard membership "
+            f"metadata; sharded families are {SHARDED_FAMILIES}"
+        )
+    return tuple(tuple(int(v) for v in group) for group in shards)
+
+
+def node_shards(net: Network) -> Dict[int, int]:
+    """Map every node id to its shard index (the inverse of the partition)."""
+    shard_of: Dict[int, int] = {}
+    for sid, group in enumerate(shard_members(net)):
+        for node in group:
+            shard_of[node] = sid
+    return shard_of

@@ -210,6 +210,44 @@ class TestSchedulersCommand:
         assert "bound:" in printed
 
 
+class TestTopologiesCommand:
+    def test_lists_every_registered_family(self, capsys):
+        from repro.cli import main
+        from repro.network import TOPOLOGY_INFO
+
+        assert main(["topologies"]) == 0
+        printed = capsys.readouterr().out
+        for name in TOPOLOGY_INFO:
+            assert name in printed
+        assert "algo=" in printed
+        assert "shards" in printed  # parameter schema is rendered
+
+    def test_schedule_accepts_sharded_topologies(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "schedule", "--topology", "shard-cluster", "--size", "3",
+            "--size2", "4", "--objects", "9", "--k", "2", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out
+
+
+class TestClusterAssignFlag:
+    def test_shard_assignment_runs_with_parity(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "cluster", "--topology", "shard-cluster", "--size", "3",
+            "--size2", "4", "--workers", "2", "--windows", "8",
+            "--rate", "0.8", "--objects", "12", "--assign", "shard",
+            "--seed", "3", "--parity",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parity with fault-free run: OK" in out
+        assert "cross-shard" in out
+
+
 class TestScheduleKernelFlag:
     def test_kernel_choices_agree(self, capsys):
         from repro.cli import main

@@ -45,10 +45,15 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.faults.backoff import RetryPolicy
-from repro.network import grid
+from repro.errors import TopologyError
+from repro.network import grid, node_shards, shard_cluster
 from repro.service import SchedulingService, ServiceConfig
 
 STREAM = StreamSpec(kind="poisson", w=16, k=2, rate=0.6, seed=7)
+# coordinator-shard handoff stream for the shard-cluster runs
+SHARD_STREAM = StreamSpec(
+    kind="poisson", w=12, k=2, rate=0.8, seed=3, assign="shard"
+)
 SVC = ServiceConfig(window=8)
 
 
@@ -170,6 +175,99 @@ class TestShardedStream:
     def test_unknown_stream_kind_rejected(self):
         with pytest.raises(ClusterError, match="unknown stream kind"):
             StreamSpec(kind="fractal")
+
+    def test_unknown_assign_mode_rejected(self):
+        with pytest.raises(ClusterError, match="unknown assignment mode"):
+            StreamSpec(assign="alphabetical")
+        net = grid(3)
+        with pytest.raises(ClusterError, match="unknown assignment mode"):
+            ShardedStream(STREAM.build(net), 2, {0: 0}, assign="alphabetical")
+
+
+class TestShardAssignment:
+    """StreamSpec(assign="shard"): coordinator-shard arrival handoff."""
+
+    def _net(self):
+        return shard_cluster(3, 4)
+
+    def test_partition_by_coordinator_shard(self):
+        net = self._net()
+        horizon = 80
+        base_all = SHARD_STREAM.build(net).window(0, horizon)
+        shard_of = node_shards(net)
+        homes = SHARD_STREAM.build(net).object_homes
+        owned = []
+        for i in range(2):
+            s = ShardedStream(
+                SHARD_STREAM.build(net), 2, {i: 0}, assign="shard"
+            )
+            got = s.window(0, horizon)
+            for tt in got:
+                coord = min(shard_of[homes[o]] for o in tt.txn.objects)
+                assert coord % 2 == i  # class is the coordinator shard
+            owned.append([t.txn.tid for t in got])
+        union = sorted(t for tids in owned for t in tids)
+        assert union == [t.txn.tid for t in base_all]  # exact partition
+
+    def test_cross_counter_tallies_owned_cross_arrivals(self):
+        net = self._net()
+        shard_of = node_shards(net)
+        homes = SHARD_STREAM.build(net).object_homes
+        s = ShardedStream(
+            SHARD_STREAM.build(net), 1, {0: 0}, assign="shard"
+        )
+        got = s.window(0, 80)
+        expected = sum(
+            1 for tt in got
+            if len({shard_of[homes[o]] for o in tt.txn.objects}) >= 2
+        )
+        assert s.cross_released == expected
+        assert expected > 0  # w spans shards, so cross traffic exists
+
+    def test_tid_mode_never_counts_cross(self):
+        s = ShardedStream(
+            SHARD_STREAM.build(self._net()), 2, {0: 0}, assign="tid"
+        )
+        s.window(0, 80)
+        assert s.cross_released == 0
+
+    def test_state_round_trip_preserves_cross_counter(self):
+        net = self._net()
+        a = ShardedStream(SHARD_STREAM.build(net), 2, {1: 0}, assign="shard")
+        a.window(0, 40)
+        b = ShardedStream(SHARD_STREAM.build(net), 2, {1: 0}, assign="shard")
+        b.load_state(a.state_dict())
+        assert b.cross_released == a.cross_released
+        assert [t.txn.tid for t in a.window(40, 80)] == [
+            t.txn.tid for t in b.window(40, 80)
+        ]
+        assert b.cross_released == a.cross_released
+
+    def test_pre_cross_snapshot_still_loads(self):
+        # snapshots written before the cross counter lack the key
+        net = self._net()
+        a = ShardedStream(SHARD_STREAM.build(net), 2, {0: 0})
+        a.window(0, 40)
+        state = a.state_dict()
+        del state["cross"]
+        del state["assign"]
+        b = ShardedStream(SHARD_STREAM.build(net), 2, {0: 0})
+        b.load_state(state)
+        assert b.cross_released == 0
+
+    def test_assign_mismatch_rejected_on_restore(self):
+        net = self._net()
+        a = ShardedStream(SHARD_STREAM.build(net), 2, {0: 0}, assign="shard")
+        a.window(0, 8)
+        b = ShardedStream(SHARD_STREAM.build(net), 2, {0: 0}, assign="tid")
+        with pytest.raises(ClusterError, match="assignment mode"):
+            b.load_state(a.state_dict())
+
+    def test_shard_mode_requires_sharded_topology(self):
+        with pytest.raises(TopologyError):
+            ShardedStream(
+                STREAM.build(grid(3)), 2, {0: 0}, assign="shard"
+            )
 
 
 class TestServiceSnapshot:
@@ -421,6 +519,36 @@ class TestClusterRuns:
         assert rep.stragglers == 0 and rep.restarts == 0
         assert rep.parity_key() == base.parity_key()
 
+    def test_shard_assign_counts_cross_traffic(self):
+        rep = run_cluster(
+            "shard-cluster", 3, 4, SHARD_STREAM, SVC,
+            quick_config(windows=8),
+        )
+        assert rep.accounted
+        assert rep.cross_shard > 0
+        assert rep.cross_shard == sum(
+            w["cross"] for w in rep.per_worker
+        )
+
+    def test_tid_assign_reports_zero_cross(self):
+        rep = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        assert rep.cross_shard == 0
+        assert all(w["cross"] == 0 for w in rep.per_worker)
+
+    def test_shard_assign_kill_chaos_matches_fault_free(self):
+        # the coordinator handoff must survive a worker crash: the
+        # replayed worker re-derives its coordinator classes and its
+        # cross-shard tally bit-for-bit
+        cfg = quick_config(windows=8)
+        base = run_cluster("shard-cluster", 3, 4, SHARD_STREAM, SVC, cfg)
+        killed = run_cluster(
+            "shard-cluster", 3, 4, SHARD_STREAM, SVC, cfg,
+            chaos=ChaosPlan([WorkerKill(1, 4)]),
+        )
+        assert killed.restarts == 1
+        assert killed.parity_key() == base.parity_key()
+        assert killed.cross_shard == base.cross_shard > 0
+
     def test_chaos_validated_against_cluster_shape(self):
         with pytest.raises(ClusterError, match="worker 5"):
             run_cluster(
@@ -454,6 +582,35 @@ class TestClusterReport:
         text = rep.render()
         for w in rep.per_worker:
             assert f"worker {w['worker']}" in text
+
+    def test_parity_key_includes_cross_shard(self):
+        rep = run_cluster(
+            "shard-cluster", 3, 4, SHARD_STREAM, SVC,
+            quick_config(windows=8),
+        )
+        assert rep.parity_key()["cross_shard"] == rep.cross_shard
+        assert rep.as_dict()["cross_shard"] == rep.cross_shard
+        assert f"cross-shard {rep.cross_shard}" in rep.render()
+
+    def test_pre_cross_shard_report_json_still_loads(self):
+        # report JSON written before the cross_shard field lacks the key
+        rep = run_cluster("grid", 3, None, STREAM, SVC, quick_config())
+        envelope = json.loads(rep.to_json())
+        del envelope["report"]["cross_shard"]
+        back = ClusterReport.from_json(json.dumps(envelope))
+        assert back.cross_shard == 0
+        assert back.released == rep.released
+
+
+class TestBuildNetworkDeprecation:
+    def test_forwards_and_warns(self):
+        from repro.network import network_from_sizes
+
+        with pytest.warns(DeprecationWarning, match="network_from_sizes"):
+            net = build_network("shard-cluster", 3, 4)
+        assert net.topology == network_from_sizes(
+            "shard-cluster", 3, 4
+        ).topology
 
 
 class TestClusterCli:

@@ -24,11 +24,11 @@ def tables():
 
 
 class TestRegistry:
-    def test_twenty_experiments(self):
+    def test_registered_experiments(self):
         assert experiment_ids() == [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
             "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19",
-            "e20",
+            "e20", "e21",
         ]
         assert set(EXPERIMENTS) == set(TITLES)
 
@@ -245,6 +245,22 @@ class TestClaims:
             if r["stream"] == "poisson+faults":
                 assert r["commit_rate"] > 0.5
                 assert r["saturated_at"] == -1
+
+    def test_e21_sharded_wins_at_low_cross(self, tables):
+        rows = tables["e21"].rows
+        assert rows, "e21 must produce rows"
+        for row in rows:
+            if row["cross"] == 0.0:
+                # no cross-shard work: the two-phase split degenerates
+                # to per-shard greedy, exactly the baseline
+                assert row["cross_ratio"] == 0.0
+                assert row["mk_sharded"] == row["mk_cluster"]
+            elif row["cross"] <= 0.1:
+                # the headline claim: sharded beats plain cluster-greedy
+                # at low nonzero cross-shard ratios
+                assert row["mk_sharded"] < row["mk_cluster"]
+                assert row["winner"] == "sharded"
+            assert row["mk_sharded"] >= row["lower_bound"]
 
 
 class TestRegistryDrift:

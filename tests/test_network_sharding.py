@@ -1,0 +1,119 @@
+"""Tests for the sharded topology family (repro.network.sharding).
+
+The shard partition is the load-bearing invariant: every scheduler and
+stream-assignment decision built on top assumes ``shard_members`` is an
+exact partition of the node set (disjoint, covering).  Property tests
+drive that across sampled sizes for both families.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, TopologyError
+from repro.network import (
+    clique,
+    fog_hierarchy,
+    node_shards,
+    shard_cluster,
+    shard_members,
+)
+
+
+class TestShardCluster:
+    def test_basic_shape(self):
+        net = shard_cluster(4, 6)
+        assert net.n == 24
+        assert net.topology.name == "shard-cluster"
+        members = shard_members(net)
+        assert len(members) == 4
+        assert all(len(m) == 6 for m in members)
+
+    def test_carries_cluster_aliases(self):
+        # the §6 ClusterScheduler runs unchanged on shard-cluster: the
+        # topology carries the cluster family's metadata under the same
+        # keys (clusters/bridges/alpha/beta/gamma)
+        net = shard_cluster(3, 5, gamma=10)
+        p = net.topology.params
+        assert p["alpha"] == 3 and p["beta"] == 5 and p["gamma"] == 10
+        assert p["clusters"] == p["members"]
+        assert tuple(p["bridges"]) == tuple(p["leaders"])
+
+    def test_gamma_default_and_validation(self):
+        assert shard_cluster(3, 4).topology.params["gamma"] == 4
+        with pytest.raises(GraphError):
+            shard_cluster(3, 4, gamma=2)  # gamma must be >= shard_size
+
+    def test_leader_mesh_distance(self):
+        net = shard_cluster(3, 4, gamma=7)
+        leaders = net.topology.params["leaders"]
+        assert net.dist(leaders[0], leaders[1]) == 7
+        # intra-shard nodes sit at clique distance 1
+        members = shard_members(net)
+        assert net.dist(members[0][0], members[0][1]) == 1
+
+
+class TestFogHierarchy:
+    def test_tree_shape(self):
+        net = fog_hierarchy(3, fanout=2, shard_size=4)
+        members = shard_members(net)
+        assert len(members) == 7  # 1 + 2 + 4
+        assert net.n == 28
+
+    def test_fanout_one_is_a_chain(self):
+        net = fog_hierarchy(3, fanout=1, shard_size=2)
+        assert len(shard_members(net)) == 3
+
+    def test_no_cluster_aliases(self):
+        # fog uplinks are tier-weighted, so the diameter exceeds the
+        # cluster graph's gamma + 2 budget; the §6 scheduler must NOT
+        # silently accept it
+        net = fog_hierarchy(2, fanout=2, shard_size=3)
+        assert "clusters" not in net.topology.params
+
+    def test_tier_metadata(self):
+        net = fog_hierarchy(3, fanout=2, shard_size=4)
+        tier_of = net.topology.params["tier_of"]
+        assert tier_of[0] == 0
+        assert tier_of[1] == tier_of[2] == 1
+        assert all(tier_of[s] == 2 for s in range(3, 7))
+
+
+class TestShardPartition:
+    @given(
+        shards=st.integers(min_value=1, max_value=6),
+        size=st.integers(min_value=2, max_value=6),
+    )
+    def test_shard_cluster_partition_exact(self, shards, size):
+        net = shard_cluster(shards, size)
+        members = shard_members(net)
+        seen = [node for m in members for node in m]
+        assert sorted(seen) == list(range(net.n))  # disjoint + covering
+        assert node_shards(net) == {
+            node: sid for sid, m in enumerate(members) for node in m
+        }
+
+    @given(
+        tiers=st.integers(min_value=1, max_value=3),
+        fanout=st.integers(min_value=1, max_value=3),
+        size=st.integers(min_value=2, max_value=4),
+    )
+    def test_fog_partition_exact(self, tiers, fanout, size):
+        net = fog_hierarchy(tiers, fanout=fanout, shard_size=size)
+        members = shard_members(net)
+        seen = [node for m in members for node in m]
+        assert sorted(seen) == list(range(net.n))
+
+    def test_plain_cluster_is_sharded_family(self):
+        from repro.network import cluster
+
+        net = cluster(3, 4)
+        assert len(shard_members(net)) == 3
+
+    def test_unsharded_family_raises(self):
+        with pytest.raises(TopologyError, match="sharded"):
+            shard_members(clique(8))
+        with pytest.raises(TopologyError, match="sharded"):
+            node_shards(clique(8))
